@@ -1,0 +1,199 @@
+// Command flixquery loads a directory of XML documents, builds a FliX
+// index and evaluates path expressions against it.
+//
+// Usage:
+//
+//	flixquery -dir ./docs -query '//~movie//actor' [-config hybrid]
+//	flixquery -dir ./docs -start movies.xml -tag actor [-k 20]
+//	flixquery -dir ./docs -stats
+//
+// The -query form uses the ranked evaluator with structural and semantic
+// vagueness (an ontology can be supplied with -ontology file); the
+// -start/-tag form streams raw a//b results in approximate distance order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	flix "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("flixquery: ")
+	var (
+		dir      = flag.String("dir", "", "directory of *.xml documents (required)")
+		config   = flag.String("config", "hybrid", "configuration: naive | maximal-ppo | unconnected-hopi | hybrid | monolithic")
+		partSize = flag.Int("partition", 5000, "partition size bound for unconnected-hopi / hybrid")
+		strategy = flag.String("strategy", "", "force a per-meta-document strategy: ppo | hopi | apex | tc")
+		queryStr = flag.String("query", "", "ranked path expression, e.g. //~movie//actor")
+		ontoFile = flag.String("ontology", "", "ontology file with 'tagA tagB score' lines for ~ expansion")
+		startDoc = flag.String("start", "", "document name whose root anchors a raw a//b query")
+		tag      = flag.String("tag", "", "element name for the raw query (empty = wildcard)")
+		k        = flag.Int("k", 0, "maximum results (0 = all)")
+		maxDist  = flag.Int("maxdist", 0, "distance threshold (0 = unlimited)")
+		stats    = flag.Bool("stats", false, "print collection statistics and index summary, then exit")
+		saveIx   = flag.String("save", "", "write the built index to this file")
+		loadIx   = flag.String("load", "", "load a previously saved index instead of building (-config is ignored)")
+	)
+	flag.Parse()
+	if *dir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	loader := flix.NewLoader()
+	if err := loader.LoadDir(*dir); err != nil {
+		log.Fatal(err)
+	}
+	coll, err := loader.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range loader.Errs() {
+		log.Printf("warning: %v", e)
+	}
+
+	var ix *flix.Index
+	if *loadIx != "" {
+		f, err := os.Open(*loadIx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ix, err = flix.Load(coll, f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		cfg, err := parseConfig(*config, *partSize, *strategy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ix, err = flix.Build(coll, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *saveIx != "" {
+		f, err := os.Create(*saveIx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := ix.WriteTo(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("index saved to %s", *saveIx)
+	}
+
+	if *stats {
+		fmt.Println(flix.ComputeStats(coll))
+		fmt.Println(ix.Describe())
+		if sz, err := ix.SizeBytes(); err == nil {
+			fmt.Printf("index size: %d bytes\n", sz)
+		}
+		return
+	}
+
+	switch {
+	case *queryStr != "":
+		runRanked(ix, coll, *queryStr, *ontoFile, *k)
+	case *startDoc != "":
+		runRaw(ix, coll, *startDoc, *tag, *k, *maxDist)
+	default:
+		log.Fatal("one of -query, -start or -stats is required")
+	}
+}
+
+func parseConfig(name string, partSize int, strategy string) (flix.Config, error) {
+	cfg := flix.Config{PartitionSize: partSize, Strategy: strategy}
+	switch name {
+	case "naive":
+		cfg.Kind = flix.Naive
+	case "maximal-ppo":
+		cfg.Kind = flix.MaximalPPO
+	case "unconnected-hopi":
+		cfg.Kind = flix.UnconnectedHOPI
+	case "hybrid":
+		cfg.Kind = flix.Hybrid
+	case "monolithic":
+		cfg.Kind = flix.Monolithic
+	default:
+		return cfg, fmt.Errorf("unknown configuration %q", name)
+	}
+	return cfg, nil
+}
+
+func runRanked(ix *flix.Index, coll *flix.Collection, expr, ontoFile string, k int) {
+	q, err := flix.ParseQuery(expr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eval := &flix.Evaluator{Index: ix, MaxResults: k}
+	if ontoFile != "" {
+		text, err := os.ReadFile(ontoFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		onto, err := flix.ParseOntology(string(text))
+		if err != nil {
+			log.Fatal(err)
+		}
+		eval.Ontology = onto
+	}
+	var matches []flix.Match
+	if k > 0 {
+		// Top-k uses the threshold-algorithm early termination.
+		matches = eval.EvaluateTopK(q, k)
+	} else {
+		matches = eval.Evaluate(q)
+	}
+	if len(matches) == 0 {
+		fmt.Println("no results")
+		return
+	}
+	for i, m := range matches {
+		fmt.Printf("%3d. %.3f  <%s>  %s  (doc %s, path length %d)\n",
+			i+1, m.Score, coll.Tag(m.Node), snippet(coll.Node(m.Node).Text),
+			coll.Doc(coll.DocOf(m.Node)).Name, m.PathLen)
+	}
+}
+
+func runRaw(ix *flix.Index, coll *flix.Collection, startDoc, tag string, k, maxDist int) {
+	d, ok := coll.DocByName(startDoc)
+	if !ok {
+		log.Fatalf("document %q not in collection", startDoc)
+	}
+	start := coll.Doc(d).Root
+	opts := flix.Options{MaxResults: k, MaxDist: int32(maxDist)}
+	i := 0
+	ix.Descendants(start, tag, opts, func(r flix.Result) bool {
+		i++
+		fmt.Printf("%3d. dist=%-4d <%s>  %s  (doc %s)\n",
+			i, r.Dist, coll.Tag(r.Node), snippet(coll.Node(r.Node).Text),
+			coll.Doc(coll.DocOf(r.Node)).Name)
+		return true
+	})
+	if i == 0 {
+		fmt.Println("no results")
+	}
+}
+
+func snippet(s string) string {
+	s = strings.Join(strings.Fields(s), " ")
+	if len(s) > 40 {
+		s = s[:37] + "..."
+	}
+	if s == "" {
+		return `""`
+	}
+	return fmt.Sprintf("%q", s)
+}

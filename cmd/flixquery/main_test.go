@@ -1,0 +1,46 @@
+package main
+
+import (
+	"testing"
+
+	flix "repro"
+)
+
+func TestParseConfig(t *testing.T) {
+	cases := []struct {
+		name string
+		kind flix.ConfigKind
+	}{
+		{"naive", flix.Naive},
+		{"maximal-ppo", flix.MaximalPPO},
+		{"unconnected-hopi", flix.UnconnectedHOPI},
+		{"hybrid", flix.Hybrid},
+		{"monolithic", flix.Monolithic},
+	}
+	for _, c := range cases {
+		cfg, err := parseConfig(c.name, 1234, "apex")
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if cfg.Kind != c.kind || cfg.PartitionSize != 1234 || cfg.Strategy != "apex" {
+			t.Errorf("%s: %+v", c.name, cfg)
+		}
+	}
+	if _, err := parseConfig("bogus", 0, ""); err == nil {
+		t.Error("bogus config accepted")
+	}
+}
+
+func TestSnippet(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", `""`},
+		{"hello", `"hello"`},
+		{"  spaced\n\tout  ", `"spaced out"`},
+		{"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa", `"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa..."`},
+	}
+	for _, c := range cases {
+		if got := snippet(c.in); got != c.want {
+			t.Errorf("snippet(%q) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Command connection demonstrates connection tests (§5.2): deciding
+// whether two elements are connected, computing the length of the
+// discovered path, bounding the search with a relevance-derived distance
+// threshold, and comparing the forward search against the bidirectional
+// optimization.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	flix "repro"
+	"repro/internal/dblp"
+)
+
+func main() {
+	docs := flag.Int("docs", 1500, "number of publication documents")
+	flag.Parse()
+
+	corpus := dblp.Generate(dblp.Scaled(*docs))
+	coll := corpus.BuildGraph()
+	ix, err := flix.Build(coll, flix.Config{Kind: flix.UnconnectedHOPI, PartitionSize: 2000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("collection:", flix.ComputeStats(coll))
+	fmt.Println("index:", ix.Describe())
+
+	start := corpus.Hub(coll)
+	fmt.Printf("\nstart element: root of %s\n", corpus.Pubs[corpus.HubIndex].Key)
+
+	// Probe a spread of target documents: cited ones are connected
+	// through short citation chains, most others are not connected.
+	targets := []int{
+		corpus.Pubs[corpus.HubIndex].Cites[0], // directly cited
+		0,                                     // the very first paper (often reachable transitively)
+		*docs / 2,
+		*docs - 2,
+	}
+	for _, t := range targets {
+		d, _ := coll.DocByName(corpus.DocName(t))
+		target := coll.Doc(d).Root
+		if dist, ok := ix.Connected(start, target, 0); ok {
+			fmt.Printf("  %-28s connected, path length %d\n", corpus.Pubs[t].Key, dist)
+		} else {
+			fmt.Printf("  %-28s not connected\n", corpus.Pubs[t].Key)
+		}
+	}
+
+	// A client that derives relevance from path length can bound the
+	// search: beyond the threshold the result would be negligible anyway.
+	fmt.Println("\nwith a distance threshold of 3:")
+	for _, t := range targets {
+		d, _ := coll.DocByName(corpus.DocName(t))
+		target := coll.Doc(d).Root
+		if dist, ok := ix.Connected(start, target, 3); ok {
+			fmt.Printf("  %-28s within threshold (length %d)\n", corpus.Pubs[t].Key, dist)
+		} else {
+			fmt.Printf("  %-28s beyond threshold or unreachable\n", corpus.Pubs[t].Key)
+		}
+	}
+
+	// Forward vs bidirectional search (§5.2: "one could start two
+	// evaluations instead of one").
+	fmt.Println("\nforward vs bidirectional timing over all probes:")
+	var fwd, bidi time.Duration
+	for trial := 0; trial < 200; trial++ {
+		t := targets[trial%len(targets)]
+		d, _ := coll.DocByName(corpus.DocName(t))
+		target := coll.Doc(d).Root
+		t0 := time.Now()
+		ix.Connected(start, target, 0)
+		fwd += time.Since(t0)
+		t0 = time.Now()
+		ix.ConnectedBidirectional(start, target, 0)
+		bidi += time.Since(t0)
+	}
+	fmt.Printf("  forward:       %s\n", fwd.Round(time.Microsecond))
+	fmt.Printf("  bidirectional: %s\n", bidi.Round(time.Microsecond))
+}

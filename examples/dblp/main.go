@@ -1,0 +1,96 @@
+// Command dblp demonstrates FliX on a DBLP-scale bibliographic collection:
+// it generates the synthetic corpus the experiments use (one XML document
+// per publication, citation links between documents), builds several
+// framework configurations, compares their footprints, and streams a top-k
+// "all article descendants of a highly-cited paper" query — the workload of
+// the paper's Figure 5.
+//
+// Usage:
+//
+//	go run ./examples/dblp [-docs 2000] [-k 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	flix "repro"
+	"repro/internal/bench"
+	"repro/internal/dblp"
+)
+
+func main() {
+	docs := flag.Int("docs", 2000, "number of publication documents")
+	k := flag.Int("k", 20, "results to stream")
+	flag.Parse()
+
+	corpus := dblp.Generate(dblp.Scaled(*docs))
+	coll := corpus.BuildGraph()
+	fmt.Println("collection:", flix.ComputeStats(coll))
+
+	configs := []struct {
+		name string
+		cfg  flix.Config
+	}{
+		{"naive", flix.Config{Kind: flix.Naive}},
+		{"maximal-ppo", flix.Config{Kind: flix.MaximalPPO}},
+		{"hopi-5000", flix.Config{Kind: flix.UnconnectedHOPI, PartitionSize: 5000}},
+		{"hybrid", flix.DefaultConfig()},
+	}
+
+	type builtIndex struct {
+		name string
+		ix   *flix.Index
+	}
+	var built []builtIndex
+	fmt.Println("\nconfigurations:")
+	for _, c := range configs {
+		t0 := time.Now()
+		ix, err := flix.Build(coll, c.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sz, err := ix.SizeBytes()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s build=%-10s size=%-10s %s\n",
+			c.name, time.Since(t0).Round(time.Millisecond), bench.FormatBytes(sz), ix.Describe())
+		built = append(built, builtIndex{c.name, ix})
+	}
+
+	start := corpus.Hub(coll)
+	fmt.Printf("\nquery start: %s (cites %d papers)\n",
+		corpus.Pubs[corpus.HubIndex].Key, len(corpus.Pubs[corpus.HubIndex].Cites))
+
+	// Stream the top-k article descendants from the hybrid index — the
+	// client reads at its own pace and closes early (§3.1).
+	ix := built[len(built)-1].ix
+	s := ix.Stream(start, "article", flix.Options{MaxResults: *k})
+	fmt.Printf("\ntop-%d article descendants (hybrid):\n", *k)
+	rank := 0
+	for {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		rank++
+		doc := coll.Doc(coll.DocOf(r.Node))
+		fmt.Printf("  %2d. dist=%-3d %s\n", rank, r.Dist, doc.Name)
+	}
+	s.Close()
+
+	// Compare time-to-k across the configurations.
+	fmt.Printf("\ntime to first %d results:\n", *k)
+	for _, b := range built {
+		t0 := time.Now()
+		n := 0
+		b.ix.Descendants(start, "article", flix.Options{MaxResults: *k}, func(flix.Result) bool {
+			n++
+			return true
+		})
+		fmt.Printf("  %-12s %10s (%d results)\n", b.name, time.Since(t0).Round(time.Microsecond), n)
+	}
+}

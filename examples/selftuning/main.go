@@ -1,0 +1,76 @@
+// Command selftuning demonstrates the framework's §7 future-work features
+// implemented by this reproduction: query-load statistics, the self-tuning
+// advisor that recommends a rebuild when queries cross too many meta
+// documents, and the frequent-query result cache.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	flix "repro"
+	"repro/internal/dblp"
+)
+
+func main() {
+	docs := flag.Int("docs", 1500, "number of publication documents")
+	flag.Parse()
+
+	corpus := dblp.Generate(dblp.Scaled(*docs))
+	coll := corpus.BuildGraph()
+	start := corpus.Hub(coll)
+
+	// Deliberately mis-configured: tiny partitions force every query to
+	// hop across many meta documents.
+	ix, err := flix.Build(coll, flix.Config{Kind: flix.UnconnectedHOPI, PartitionSize: 200})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("initial:", ix.Describe())
+
+	runLoad := func(ix *flix.Index) time.Duration {
+		t0 := time.Now()
+		for i := 0; i < 50; i++ {
+			ix.Descendants(start, "article", flix.Options{MaxResults: 100},
+				func(flix.Result) bool { return true })
+		}
+		return time.Since(t0)
+	}
+	elapsed := runLoad(ix)
+	fmt.Printf("load: 50 queries in %s\n", elapsed.Round(time.Microsecond))
+	fmt.Println("stats:", ix.Stats().Snapshot())
+
+	// The advisor notices the link-heavy load and recommends coarser
+	// partitions; keep rebuilding until it is satisfied.
+	for round := 1; ; round++ {
+		advice := ix.Advise()
+		fmt.Printf("advice (round %d): %s\n", round, advice.Reason)
+		if !advice.Rebuild {
+			break
+		}
+		t0 := time.Now()
+		ix, err = flix.Build(coll, advice.Config)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("rebuilt in %s: %s\n", time.Since(t0).Round(time.Millisecond), ix.Describe())
+		elapsed = runLoad(ix)
+		fmt.Printf("load: 50 queries in %s\n", elapsed.Round(time.Microsecond))
+	}
+
+	// The result cache pays off for repeated (sub-)queries.
+	cache := ix.NewQueryCache(64)
+	consume := func(r flix.Result) bool { return true }
+	t0 := time.Now()
+	cache.Descendants(start, "article", flix.Options{}, consume)
+	cold := time.Since(t0)
+	t0 = time.Now()
+	for i := 0; i < 100; i++ {
+		cache.Descendants(start, "article", flix.Options{}, consume)
+	}
+	warm := time.Since(t0) / 100
+	fmt.Printf("\nquery cache: cold %s, warm %s per query (hit rate %.0f%%)\n",
+		cold.Round(time.Microsecond), warm.Round(time.Microsecond), 100*cache.HitRate())
+}

@@ -1,0 +1,129 @@
+package apex
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lgraph"
+	"repro/internal/storage"
+)
+
+func TestReadBodyRoundTrip(t *testing.T) {
+	g, idx := buildGraph(t)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r := storage.NewReader(&buf)
+	if err := r.Header("apex"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBody(g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := got.(*Index)
+	if loaded.NumClasses() != idx.NumClasses() {
+		t.Fatalf("classes: %d vs %d", loaded.NumClasses(), idx.NumClasses())
+	}
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		if loaded.Class(v) != idx.Class(v) {
+			t.Fatalf("Class(%d) differs", v)
+		}
+	}
+	for _, path := range [][]string{{"a", "b", "c"}, {"b", "c"}, {"b"}} {
+		a := idx.PathExtent(path)
+		b := loaded.PathExtent(path)
+		if len(a) != len(b) {
+			t.Fatalf("PathExtent(%v): %v vs %v", path, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("PathExtent(%v): %v vs %v", path, a, b)
+			}
+		}
+	}
+}
+
+func TestReadBodyWrongGraph(t *testing.T) {
+	_, idx := buildGraph(t)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := lgraph.NewBuilder()
+	b.AddNode("a")
+	small := b.Finish()
+	r := storage.NewReader(&buf)
+	if err := r.Header("apex"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBody(small, r); err == nil {
+		t.Error("ReadBody accepted a mismatched graph")
+	}
+}
+
+func TestReadBodyAdjacencyMismatch(t *testing.T) {
+	g, idx := buildGraph(t)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Same node count and tags, different edges.
+	b := lgraph.NewBuilder()
+	for _, tag := range []string{"a", "b", "d", "c", "b", "c"} {
+		b.AddNode(tag)
+	}
+	b.AddEdge(0, 5) // edge structure differs from buildGraph's
+	other := b.Finish()
+	_ = g
+	r := storage.NewReader(&buf)
+	if err := r.Header("apex"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBody(other, r); err == nil {
+		t.Error("ReadBody accepted a graph with different edges")
+	}
+}
+
+func TestPropertyPersistRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 15}
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(25)
+		g := randomGraph(rng, n, rng.Intn(2*n))
+		idx := Build(g)
+		var buf bytes.Buffer
+		if _, err := idx.WriteTo(&buf); err != nil {
+			return false
+		}
+		r := storage.NewReader(&buf)
+		if err := r.Header("apex"); err != nil {
+			return false
+		}
+		got, err := ReadBody(g, r)
+		if err != nil {
+			return false
+		}
+		loaded := got.(*Index)
+		x := int32(rng.Intn(n))
+		tag := g.Tag(int32(rng.Intn(n)))
+		var a, b [][2]int32
+		idx.EachReachableByTag(x, tag, func(u, d int32) bool { a = append(a, [2]int32{u, d}); return true })
+		loaded.EachReachableByTag(x, tag, func(u, d int32) bool { b = append(b, [2]int32{u, d}); return true })
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,244 @@
+// Package dataguide implements strong DataGuides (Goldman & Widom, VLDB
+// 1997), the structural summary mentioned among the related path indexes in
+// FliX §2.2.
+//
+// A strong DataGuide is the deterministic "powerset automaton" of the data
+// graph: every distinct label path from a root leads to exactly one guide
+// node, whose target set is the set of data nodes reached by that path.  On
+// tree-shaped documents the guide is at most as large as the tree; on
+// general graphs it can grow exponentially, which is why Build enforces a
+// node budget and why the Indexing Strategy Selector never picks DataGuides
+// for link-heavy meta documents.
+package dataguide
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/lgraph"
+	"repro/internal/storage"
+)
+
+// ErrBudget is returned when the guide would exceed the node budget.
+var ErrBudget = errors.New("dataguide: guide exceeds node budget")
+
+// Guide is a strong DataGuide.
+type Guide struct {
+	g *lgraph.LGraph
+
+	// targets[n] is the sorted target set of guide node n.
+	targets [][]int32
+	// tag[n] is the label of the edge leading to guide node n (the last
+	// step of its label path); roots are grouped per tag as well.
+	tag []lgraph.Tag
+	// succ[n] maps a tag to the successor guide node.
+	succ []map[lgraph.Tag]int32
+	// roots maps a root tag to its guide node.
+	roots map[lgraph.Tag]int32
+}
+
+// Build constructs the strong DataGuide.  maxNodes bounds the guide size
+// (0 means 4 * data-graph size, a generous default for tree-ish data).
+func Build(g *lgraph.LGraph, maxNodes int) (*Guide, error) {
+	if maxNodes <= 0 {
+		maxNodes = 4 * (g.NumNodes() + 1)
+	}
+	gd := &Guide{
+		g:     g,
+		roots: make(map[lgraph.Tag]int32),
+	}
+	// Determinization over target sets: states are canonical target-set
+	// keys.
+	type stateKey string
+	states := make(map[stateKey]int32)
+
+	intern := func(set []int32, tag lgraph.Tag) (int32, bool, error) {
+		key := stateKey(fmt.Sprintf("%d|%v", tag, set))
+		if id, ok := states[key]; ok {
+			return id, false, nil
+		}
+		if len(gd.targets) >= maxNodes {
+			return 0, false, ErrBudget
+		}
+		id := int32(len(gd.targets))
+		states[key] = id
+		gd.targets = append(gd.targets, set)
+		gd.tag = append(gd.tag, tag)
+		gd.succ = append(gd.succ, make(map[lgraph.Tag]int32))
+		return id, true, nil
+	}
+
+	// Seed: group the data-graph roots by tag.
+	rootSets := make(map[lgraph.Tag][]int32)
+	for _, r := range g.Roots() {
+		rootSets[g.Tag(r)] = append(rootSets[g.Tag(r)], r)
+	}
+	var queue []int32
+	for _, t := range sortedTags(rootSets) {
+		set := rootSets[t]
+		sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+		id, fresh, err := intern(set, t)
+		if err != nil {
+			return nil, err
+		}
+		gd.roots[t] = id
+		if fresh {
+			queue = append(queue, id)
+		}
+	}
+	// Subset construction.
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		nextSets := make(map[lgraph.Tag]map[int32]struct{})
+		for _, u := range gd.targets[cur] {
+			for _, v := range g.Succs(u) {
+				t := g.Tag(v)
+				if nextSets[t] == nil {
+					nextSets[t] = make(map[int32]struct{})
+				}
+				nextSets[t][v] = struct{}{}
+			}
+		}
+		for _, t := range sortedTagSet(nextSets) {
+			set := make([]int32, 0, len(nextSets[t]))
+			for v := range nextSets[t] {
+				set = append(set, v)
+			}
+			sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+			id, fresh, err := intern(set, t)
+			if err != nil {
+				return nil, err
+			}
+			gd.succ[cur][t] = id
+			if fresh {
+				queue = append(queue, id)
+			}
+		}
+	}
+	return gd, nil
+}
+
+func sortedTags(m map[lgraph.Tag][]int32) []lgraph.Tag {
+	out := make([]lgraph.Tag, 0, len(m))
+	for t := range m {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedTagSet(m map[lgraph.Tag]map[int32]struct{}) []lgraph.Tag {
+	out := make([]lgraph.Tag, 0, len(m))
+	for t := range m {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumNodes returns the number of guide nodes.
+func (gd *Guide) NumNodes() int { return len(gd.targets) }
+
+// Targets returns the target set of a label path from the roots, or nil if
+// no data node is reached by it.  The path is rooted: Targets("dblp",
+// "article") matches /dblp/article.
+func (gd *Guide) Targets(path ...string) []int32 {
+	if len(path) == 0 {
+		return nil
+	}
+	t0 := gd.g.TagOf(path[0])
+	if t0 == lgraph.NoTag {
+		return nil
+	}
+	cur, ok := gd.roots[t0]
+	if !ok {
+		return nil
+	}
+	for _, step := range path[1:] {
+		t := gd.g.TagOf(step)
+		if t == lgraph.NoTag {
+			return nil
+		}
+		next, ok := gd.succ[cur][t]
+		if !ok {
+			return nil
+		}
+		cur = next
+	}
+	return gd.targets[cur]
+}
+
+// Paths returns every label path of the guide (up to maxDepth steps) with
+// its target-set size, sorted lexicographically — the "query formulation"
+// use DataGuides were designed for.
+func (gd *Guide) Paths(maxDepth int) []PathInfo {
+	var out []PathInfo
+	type frame struct {
+		node  int32
+		path  []string
+		depth int
+	}
+	var stack []frame
+	rootTags := make([]lgraph.Tag, 0, len(gd.roots))
+	for t := range gd.roots {
+		rootTags = append(rootTags, t)
+	}
+	sort.Slice(rootTags, func(i, j int) bool { return rootTags[i] < rootTags[j] })
+	for _, t := range rootTags {
+		stack = append(stack, frame{node: gd.roots[t], path: []string{gd.g.TagName(t)}, depth: 1})
+	}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, PathInfo{Path: strings.Join(f.path, "/"), Count: len(gd.targets[f.node])})
+		if f.depth >= maxDepth {
+			continue
+		}
+		tags := make([]lgraph.Tag, 0, len(gd.succ[f.node]))
+		for t := range gd.succ[f.node] {
+			tags = append(tags, t)
+		}
+		sort.Slice(tags, func(i, j int) bool { return tags[i] < tags[j] })
+		for _, t := range tags {
+			np := make([]string, len(f.path)+1)
+			copy(np, f.path)
+			np[len(f.path)] = gd.g.TagName(t)
+			stack = append(stack, frame{node: gd.succ[f.node][t], path: np, depth: f.depth + 1})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// PathInfo describes one label path of the guide.
+type PathInfo struct {
+	Path  string
+	Count int
+}
+
+// WriteTo serializes the guide: per node its tag, target set and successor
+// map.
+func (gd *Guide) WriteTo(w io.Writer) (int64, error) {
+	sw := storage.NewWriter(w)
+	sw.Header("dataguide")
+	sw.Uvarint(uint64(len(gd.targets)))
+	for n := range gd.targets {
+		sw.Int32(int32(gd.tag[n]))
+		sw.Int32Slice(gd.targets[n])
+		sw.Uvarint(uint64(len(gd.succ[n])))
+		tags := make([]lgraph.Tag, 0, len(gd.succ[n]))
+		for t := range gd.succ[n] {
+			tags = append(tags, t)
+		}
+		sort.Slice(tags, func(i, j int) bool { return tags[i] < tags[j] })
+		for _, t := range tags {
+			sw.Int32(int32(t))
+			sw.Int32(gd.succ[n][t])
+		}
+	}
+	return sw.Flush()
+}

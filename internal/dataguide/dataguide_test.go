@@ -1,0 +1,160 @@
+package dataguide
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lgraph"
+	"repro/internal/storage"
+)
+
+// buildTree: 0:bib -> {1:article -> 3:author, 2:article -> 4:title}
+func buildTree(t testing.TB) (*lgraph.LGraph, *Guide) {
+	t.Helper()
+	b := lgraph.NewBuilder()
+	for _, tag := range []string{"bib", "article", "article", "author", "title"} {
+		b.AddNode(tag)
+	}
+	for _, e := range [][2]int32{{0, 1}, {0, 2}, {1, 3}, {2, 4}} {
+		b.AddEdge(e[0], e[1])
+	}
+	g := b.Finish()
+	gd, err := Build(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, gd
+}
+
+func TestTargets(t *testing.T) {
+	_, gd := buildTree(t)
+	if got := gd.Targets("bib"); !reflect.DeepEqual(got, []int32{0}) {
+		t.Errorf("Targets(bib) = %v", got)
+	}
+	if got := gd.Targets("bib", "article"); !reflect.DeepEqual(got, []int32{1, 2}) {
+		t.Errorf("Targets(bib/article) = %v", got)
+	}
+	if got := gd.Targets("bib", "article", "author"); !reflect.DeepEqual(got, []int32{3}) {
+		t.Errorf("Targets(bib/article/author) = %v", got)
+	}
+	if got := gd.Targets("bib", "author"); got != nil {
+		t.Errorf("Targets(bib/author) = %v, want nil", got)
+	}
+	if got := gd.Targets("nope"); got != nil {
+		t.Errorf("Targets(nope) = %v", got)
+	}
+	if got := gd.Targets(); got != nil {
+		t.Errorf("Targets() = %v", got)
+	}
+}
+
+func TestGuideSizeOnTree(t *testing.T) {
+	_, gd := buildTree(t)
+	// Distinct label paths: bib, bib/article, bib/article/author,
+	// bib/article/title => 4 guide nodes.
+	if gd.NumNodes() != 4 {
+		t.Errorf("NumNodes = %d, want 4", gd.NumNodes())
+	}
+}
+
+func TestPaths(t *testing.T) {
+	_, gd := buildTree(t)
+	paths := gd.Paths(10)
+	want := []PathInfo{
+		{Path: "bib", Count: 1},
+		{Path: "bib/article", Count: 2},
+		{Path: "bib/article/author", Count: 1},
+		{Path: "bib/article/title", Count: 1},
+	}
+	if !reflect.DeepEqual(paths, want) {
+		t.Errorf("Paths = %v, want %v", paths, want)
+	}
+	if got := gd.Paths(1); len(got) != 1 {
+		t.Errorf("Paths(1) = %v", got)
+	}
+}
+
+func TestBudget(t *testing.T) {
+	b := lgraph.NewBuilder()
+	for i := 0; i < 10; i++ {
+		b.AddNode("n")
+	}
+	for i := 0; i < 9; i++ {
+		b.AddEdge(int32(i), int32(i+1))
+	}
+	g := b.Finish()
+	if _, err := Build(g, 3); err != ErrBudget {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	_, gd := buildTree(t)
+	n, err := storage.SizeOf(gd)
+	if err != nil || n <= 0 {
+		t.Errorf("SizeOf = %d, %v", n, err)
+	}
+}
+
+// TestPropertyTargetsMatchOracle checks that for random DAGs the guide's
+// target set for a random 2-step rooted path equals a direct evaluation.
+func TestPropertyTargetsMatchOracle(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25}
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		b := lgraph.NewBuilder()
+		tags := []string{"a", "b", "c"}
+		for i := 0; i < n; i++ {
+			b.AddNode(tags[rng.Intn(3)])
+		}
+		// Forward-only edges keep it a DAG, so the guide stays finite.
+		for e := rng.Intn(2 * n); e > 0; e-- {
+			u := rng.Intn(n - 1)
+			v := u + 1 + rng.Intn(n-u-1)
+			b.AddEdge(int32(u), int32(v))
+		}
+		g := b.Finish()
+		gd, err := Build(g, 1<<16)
+		if err != nil {
+			return false
+		}
+		p0 := tags[rng.Intn(3)]
+		p1 := tags[rng.Intn(3)]
+		// Oracle: nodes with tag p1 having a predecessor that is a root
+		// with tag p0.
+		rootSet := make(map[int32]bool)
+		for _, r := range g.Roots() {
+			if g.TagName(g.Tag(r)) == p0 {
+				rootSet[r] = true
+			}
+		}
+		want := make(map[int32]bool)
+		for v := int32(0); v < int32(n); v++ {
+			if g.TagName(g.Tag(v)) != p1 {
+				continue
+			}
+			for _, p := range g.Preds(v) {
+				if rootSet[p] {
+					want[v] = true
+					break
+				}
+			}
+		}
+		got := gd.Targets(p0, p1)
+		if len(got) != len(want) {
+			return false
+		}
+		for _, v := range got {
+			if !want[v] {
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,135 @@
+package dblp
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/xmlgraph"
+	"repro/internal/xmlparse"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Scaled(100))
+	b := Generate(Scaled(100))
+	if a.HubIndex != b.HubIndex || len(a.Pubs) != len(b.Pubs) {
+		t.Fatal("generation is not deterministic")
+	}
+	for i := range a.Pubs {
+		if a.Pubs[i].Key != b.Pubs[i].Key || len(a.Pubs[i].Cites) != len(b.Pubs[i].Cites) {
+			t.Fatalf("pub %d differs", i)
+		}
+	}
+	c := Generate(Params{Docs: 100, MeanCites: 4, MeanExtra: 11, Seed: 7})
+	if c.Pubs[0].Key == a.Pubs[0].Key {
+		t.Error("different seed produced the same corpus")
+	}
+}
+
+func TestScaleMatchesPaper(t *testing.T) {
+	// With a fraction of the full size, the per-document means must match
+	// the paper's extract: ~27.2 elements/doc, ~4.1 links/doc.
+	c := Generate(Scaled(1200))
+	g := c.BuildGraph()
+	if g.NumDocs() != 1200 {
+		t.Fatalf("docs = %d", g.NumDocs())
+	}
+	elemsPerDoc := float64(g.NumNodes()) / float64(g.NumDocs())
+	if math.Abs(elemsPerDoc-27.2) > 2.5 {
+		t.Errorf("elements per doc = %.1f, want ≈27.2", elemsPerDoc)
+	}
+	linksPerDoc := float64(g.NumLinks()) / float64(g.NumDocs())
+	if math.Abs(linksPerDoc-4.1) > 0.6 {
+		t.Errorf("links per doc = %.2f, want ≈4.1", linksPerDoc)
+	}
+	// All links are inter-document citations to roots.
+	for _, l := range g.Links() {
+		if l.Kind != xmlgraph.EdgeInterLink {
+			t.Fatal("unexpected intra-document link")
+		}
+		if g.Doc(g.DocOf(l.To)).Root != l.To {
+			t.Fatal("citation does not point at a document root")
+		}
+	}
+}
+
+func TestHubSpansManyDocuments(t *testing.T) {
+	c := Generate(Scaled(500))
+	g := c.BuildGraph()
+	// The most-cited paper collects far more than the mean (~4).
+	mc, _ := g.DocByName(c.DocName(c.MostCitedIndex))
+	inDeg := 0
+	g.InLinks(g.Doc(mc).Root, func(xmlgraph.Link) { inDeg++ })
+	if inDeg < 12 {
+		t.Errorf("most-cited in-degree = %d, expected a clear hub", inDeg)
+	}
+	// The query-start paper's descendants must span many documents — the
+	// property the Figure 5 query depends on.
+	desc := g.Descendants(c.Hub(g))
+	docs := map[xmlgraph.DocID]bool{}
+	for _, n := range desc {
+		docs[g.DocOf(n)] = true
+	}
+	if len(docs) < 50 {
+		t.Errorf("query start reaches only %d documents", len(docs))
+	}
+}
+
+func TestNoSelfOrForwardCites(t *testing.T) {
+	c := Generate(Scaled(300))
+	for i, p := range c.Pubs {
+		for _, t2 := range p.Cites {
+			if t2 >= i {
+				t.Fatalf("pub %d cites %d (not strictly earlier)", i, t2)
+			}
+		}
+	}
+}
+
+func TestWriteXMLRoundTrip(t *testing.T) {
+	c := Generate(Scaled(40))
+	dir := t.TempDir()
+	if err := c.WriteXML(dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 40 {
+		t.Fatalf("wrote %d files", len(entries))
+	}
+	// Parse the files back; the parsed collection must match the directly
+	// built one in structure.
+	l := xmlparse.NewLoader()
+	l.Strict = true
+	if err := l.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := l.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := c.BuildGraph()
+	if parsed.NumDocs() != direct.NumDocs() ||
+		parsed.NumNodes() != direct.NumNodes() ||
+		parsed.NumLinks() != direct.NumLinks() {
+		t.Errorf("parsed %d/%d/%d vs direct %d/%d/%d",
+			parsed.NumDocs(), parsed.NumNodes(), parsed.NumLinks(),
+			direct.NumDocs(), direct.NumNodes(), direct.NumLinks())
+	}
+}
+
+func TestXMLEscape(t *testing.T) {
+	if got := xmlEscape(`a<b>&"c`); got != "a&lt;b&gt;&amp;&quot;c" {
+		t.Errorf("xmlEscape = %q", got)
+	}
+}
+
+func TestWriteXMLBadDir(t *testing.T) {
+	c := Generate(Scaled(2))
+	if err := c.WriteXML(filepath.Join(t.TempDir(), "missing", "dir")); err == nil {
+		t.Error("WriteXML into missing dir must fail")
+	}
+}

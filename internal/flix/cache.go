@@ -1,0 +1,149 @@
+package flix
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/xmlgraph"
+)
+
+// QueryCache memoizes descendants queries — the "caching results of
+// frequent (sub-)queries" optimization of §7.  It wraps an Index with a
+// bounded LRU keyed by (start element, tag); hits replay the stored result
+// stream, misses evaluate and (when the evaluation ran to completion)
+// store it.
+//
+// Only complete, untruncated evaluations are cached: a stream the client
+// cancelled or bounded with MaxResults/MaxDist is not a valid answer for
+// the next caller.  Replays honor the caller's Options by truncating the
+// stored stream.  A QueryCache is safe for concurrent use.
+type QueryCache struct {
+	ix  *Index
+	cap int
+
+	mu  sync.Mutex
+	lru *list.List // of *cacheEntry, front = most recent
+	byK map[cacheKey]*list.Element
+
+	hits, misses int64
+}
+
+type cacheKey struct {
+	start xmlgraph.NodeID
+	tag   string
+}
+
+type cacheEntry struct {
+	key     cacheKey
+	results []Result
+}
+
+// NewQueryCache wraps the index with an LRU of the given capacity (number
+// of distinct cached queries, minimum 1).
+func (ix *Index) NewQueryCache(capacity int) *QueryCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &QueryCache{
+		ix:  ix,
+		cap: capacity,
+		lru: list.New(),
+		byK: make(map[cacheKey]*list.Element),
+	}
+}
+
+// Descendants behaves like Index.Descendants but consults the cache.
+func (c *QueryCache) Descendants(start xmlgraph.NodeID, tag string, opts Options, fn Emit) {
+	key := cacheKey{start: start, tag: tag}
+	if results, ok := c.lookup(key); ok {
+		replay(results, opts, fn)
+		return
+	}
+	// Cache only evaluations that run to completion without
+	// client-imposed truncation.
+	cacheable := opts.MaxResults == 0 && opts.MaxDist == 0 && !opts.IncludeSelf
+	if !cacheable {
+		c.ix.Descendants(start, tag, opts, fn)
+		return
+	}
+	var results []Result
+	complete := true
+	c.ix.Descendants(start, tag, opts, func(r Result) bool {
+		results = append(results, r)
+		if !fn(r) {
+			complete = false
+			return false
+		}
+		return true
+	})
+	if complete {
+		c.store(key, results)
+	}
+}
+
+// replay feeds stored results through the caller's options.
+func replay(results []Result, opts Options, fn Emit) {
+	emitted := 0
+	for _, r := range results {
+		if opts.MaxDist > 0 && r.Dist > opts.MaxDist {
+			continue
+		}
+		if r.Dist == 0 && !opts.IncludeSelf {
+			continue
+		}
+		if !fn(r) {
+			return
+		}
+		emitted++
+		if opts.MaxResults > 0 && emitted >= opts.MaxResults {
+			return
+		}
+	}
+}
+
+func (c *QueryCache) lookup(key cacheKey) ([]Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byK[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).results, true
+}
+
+func (c *QueryCache) store(key cacheKey, results []Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byK[key]; ok {
+		el.Value.(*cacheEntry).results = results
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.lru.Len() >= c.cap {
+		last := c.lru.Back()
+		c.lru.Remove(last)
+		delete(c.byK, last.Value.(*cacheEntry).key)
+	}
+	c.byK[key] = c.lru.PushFront(&cacheEntry{key: key, results: results})
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (c *QueryCache) HitRate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// Len returns the number of cached queries.
+func (c *QueryCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,301 @@
+package flix
+
+import (
+	"container/heap"
+
+	"repro/internal/lgraph"
+	"repro/internal/xmlgraph"
+)
+
+// Result is one query answer: a node and the length of the path that
+// produced it.  Distances within one meta document are exact; distances of
+// paths crossing meta documents are lengths of actual paths found and thus
+// upper bounds of the true shortest distance.
+type Result struct {
+	Node xmlgraph.NodeID
+	Dist int32
+}
+
+// Options tunes query evaluation.
+type Options struct {
+	// MaxResults stops the query after that many results (0 = all).
+	// This is the top-k early termination of §3.1.
+	MaxResults int
+	// MaxDist prunes paths longer than this many edges (0 = unlimited) —
+	// the client-side relevance threshold of §5.2.
+	MaxDist int32
+	// ExactOrder buffers results so they are emitted in exactly ascending
+	// distance order instead of the approximate per-meta-document blocks
+	// of Figure 4 (a §7 "future work" optimization; costs latency).
+	ExactOrder bool
+	// IncludeSelf reports the start element itself at distance 0 when it
+	// matches the query (the "-or-self" part of descendants-or-self).
+	IncludeSelf bool
+	// DupSeenSet switches duplicate elimination from the paper's
+	// entry-point scheme (§5.1) to the "straightforward approach" the
+	// paper rejects: remembering every returned result.  It exists for
+	// the ablation benchmark; the entry-point scheme needs memory only
+	// proportional to the visited meta documents, this one to the result
+	// set.  The two schemes may differ on one corner: a start element
+	// lying on a cycle is re-reported as its own descendant by the seen
+	// set but suppressed by the entry-point scheme.
+	DupSeenSet bool
+}
+
+// Emit receives one result; returning false cancels the query (the "user
+// decides to stop" case of §3.1).
+type Emit func(Result) bool
+
+// pqItem is one frontier element of the PEE's priority queue IE.
+type pqItem struct {
+	dist int32
+	node xmlgraph.NodeID
+}
+
+// frontier is a binary min-heap over (dist, node).
+type frontier []pqItem
+
+func (f frontier) Len() int { return len(f) }
+func (f frontier) Less(i, j int) bool {
+	if f[i].dist != f[j].dist {
+		return f[i].dist < f[j].dist
+	}
+	return f[i].node < f[j].node
+}
+func (f frontier) Swap(i, j int) { f[i], f[j] = f[j], f[i] }
+func (f *frontier) Push(x any)   { *f = append(*f, x.(pqItem)) }
+func (f *frontier) Pop() any {
+	old := *f
+	n := len(old)
+	it := old[n-1]
+	*f = old[:n-1]
+	return it
+}
+
+// Descendants evaluates the path expression start//tag: all elements named
+// tag reachable from start, streamed in approximately ascending distance
+// order (§5.1, Figure 4).  An empty tag means the wildcard start//*.
+func (ix *Index) Descendants(start xmlgraph.NodeID, tag string, opts Options, fn Emit) {
+	ix.evaluate([]pqItem{{dist: 0, node: start}}, tag, opts, fn)
+}
+
+// TypeDescendants evaluates A//B where only the element types are fixed
+// (§5.2): every element named tagA is inserted at priority 0, then the
+// regular evaluation runs.  Results may be descendants of several A
+// elements; each is reported once with the smallest distance found.
+func (ix *Index) TypeDescendants(tagA, tagB string, opts Options, fn Emit) {
+	var starts []pqItem
+	for _, n := range ix.coll.NodesByTag(tagA) {
+		starts = append(starts, pqItem{dist: 0, node: n})
+	}
+	ix.evaluate(starts, tagB, opts, fn)
+}
+
+// evaluate is the Path Expression Evaluator of Figure 4 with the
+// entry-point duplicate elimination of §5.1.
+//
+// The priority queue IE holds intermediate elements ordered by the minimal
+// distance any of their descendants can have.  Popping an element e, the
+// evaluator (1) drops e when a previously visited entry point of e's meta
+// document already reaches e — everything below e has been reported; (2)
+// streams e's matching descendants from the meta document's index, skipping
+// those below an earlier entry point; (3) pushes the targets of e's
+// reachable runtime links at priority dist(e) + dist(e, l) + 1.
+func (ix *Index) evaluate(starts []pqItem, tag string, opts Options, fn Emit) {
+	f := make(frontier, 0, len(starts))
+	for _, s := range starts {
+		f = append(f, s)
+	}
+	heap.Init(&f)
+
+	entered := make(map[int32][]int32) // meta ID -> visited entry points
+	emitted := 0
+	stopped := false
+	// seenResults implements the ablation mode: exact-identity entry
+	// dedup plus a set over every returned result.
+	var seenResults map[xmlgraph.NodeID]struct{}
+	var seenEntries map[xmlgraph.NodeID]struct{}
+	if opts.DupSeenSet {
+		seenResults = make(map[xmlgraph.NodeID]struct{})
+		seenEntries = make(map[xmlgraph.NodeID]struct{})
+	}
+
+	var buffer *resultBuffer
+	if opts.ExactOrder {
+		buffer = &resultBuffer{}
+	}
+	emit := func(r Result) bool {
+		if !fn(r) {
+			return false
+		}
+		emitted++
+		return opts.MaxResults <= 0 || emitted < opts.MaxResults
+	}
+
+	for f.Len() > 0 && !stopped {
+		it := heap.Pop(&f).(pqItem)
+		if opts.MaxDist > 0 && it.dist > opts.MaxDist {
+			break // every remaining frontier entry is at least as far
+		}
+		if buffer != nil {
+			// Anything buffered below the new frontier minimum can
+			// never be beaten; flush it in exact order.
+			if !buffer.flush(it.dist, emit) {
+				stopped = true
+				break
+			}
+		}
+		mi := ix.set.MetaOf[it.node]
+		le := ix.set.LocalOf[it.node]
+		md := ix.set.Metas[mi]
+		idx := ix.pis[mi]
+
+		var prev []int32
+		if opts.DupSeenSet {
+			// Ablation: entries are skipped only on exact identity,
+			// results are deduplicated through seenResults below.
+			if _, dup := seenEntries[it.node]; dup {
+				continue
+			}
+			seenEntries[it.node] = struct{}{}
+		} else {
+			prev = entered[mi]
+			if coveredBy(idx, prev, le) {
+				continue // descendants of e were already reported
+			}
+			entered[mi] = append(prev, le)
+		}
+		ix.stats.Entries.Add(1)
+
+		// (2) stream matching descendants.
+		localTag := lgraph.Tag(-1)
+		wildcard := tag == ""
+		if !wildcard {
+			localTag = md.Graph.TagOf(tag)
+			if localTag == lgraph.NoTag {
+				// Tag absent from this meta document; still follow
+				// links below.
+				goto links
+			}
+		}
+		{
+			visit := func(n, ld int32) bool {
+				gd := it.dist + ld
+				if opts.MaxDist > 0 && gd > opts.MaxDist {
+					return false // ld ascending: rest is farther
+				}
+				if gd == 0 && !opts.IncludeSelf {
+					return true
+				}
+				g := md.ToGlobal(n)
+				if opts.DupSeenSet {
+					if _, dup := seenResults[g]; dup {
+						return true
+					}
+					seenResults[g] = struct{}{}
+				} else if coveredBy(idx, prev, n) {
+					return true // reported below an earlier entry
+				}
+				r := Result{Node: g, Dist: gd}
+				if buffer != nil {
+					buffer.add(r)
+					return true
+				}
+				if !emit(r) {
+					stopped = true
+					return false
+				}
+				return true
+			}
+			if wildcard {
+				idx.EachReachable(le, visit)
+			} else {
+				idx.EachReachableByTag(le, localTag, visit)
+			}
+			if stopped {
+				break
+			}
+		}
+
+	links:
+		// (3) follow reachable runtime links.
+		for _, ls := range md.LinkSources {
+			d, ok := idx.Distance(le, ls)
+			if !ok {
+				continue
+			}
+			nd := it.dist + d + 1
+			if opts.MaxDist > 0 && nd > opts.MaxDist {
+				continue
+			}
+			for _, cl := range md.LinksFrom(ls) {
+				heap.Push(&f, pqItem{dist: nd, node: cl.To})
+				ix.stats.LinkHops.Add(1)
+			}
+		}
+	}
+	if buffer != nil && !stopped {
+		buffer.flushAll(emit)
+	}
+	ix.stats.Queries.Add(1)
+	ix.stats.Results.Add(int64(emitted))
+}
+
+// coveredBy reports whether any entry point in prev reaches local node n.
+func coveredBy(idx interface{ Reachable(x, y int32) bool }, prev []int32, n int32) bool {
+	for _, p := range prev {
+		if idx.Reachable(p, n) {
+			return true
+		}
+	}
+	return false
+}
+
+// resultBuffer orders results exactly by (dist, node) for
+// Options.ExactOrder.
+type resultBuffer struct {
+	h resultHeap
+}
+
+func (b *resultBuffer) add(r Result) {
+	heap.Push(&b.h, r)
+}
+
+// flush emits every buffered result with distance < bound (no later path
+// can be shorter than bound).  It reports false when the emit callback
+// cancels.
+func (b *resultBuffer) flush(bound int32, emit func(Result) bool) bool {
+	for b.h.Len() > 0 && b.h[0].Dist < bound {
+		if !emit(heap.Pop(&b.h).(Result)) {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *resultBuffer) flushAll(emit func(Result) bool) {
+	for b.h.Len() > 0 {
+		if !emit(heap.Pop(&b.h).(Result)) {
+			return
+		}
+	}
+}
+
+type resultHeap []Result
+
+func (h resultHeap) Len() int { return len(h) }
+func (h resultHeap) Less(i, j int) bool {
+	if h[i].Dist != h[j].Dist {
+		return h[i].Dist < h[j].Dist
+	}
+	return h[i].Node < h[j].Node
+}
+func (h resultHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x any)   { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() any {
+	old := *h
+	n := len(old)
+	r := old[n-1]
+	*h = old[:n-1]
+	return r
+}

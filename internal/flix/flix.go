@@ -1,0 +1,258 @@
+// Package flix implements the FliX framework for indexing large,
+// heterogeneous collections of interlinked XML documents (Schenkel, EDBT
+// 2004 workshops).
+//
+// The build phase (§4) partitions the collection into meta documents
+// (Meta Document Builder), picks the best path-indexing strategy for each
+// (Indexing Strategy Selector) and builds the per-meta-document indexes
+// (Index Builder).  The query phase (§5) evaluates descendants-or-self path
+// expressions with a priority-queue algorithm that consults the local
+// indexes and follows the remaining links at run time, streaming results in
+// approximately ascending distance order.
+package flix
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/meta"
+	"repro/internal/partition"
+	"repro/internal/pathindex"
+	"repro/internal/xmlgraph"
+)
+
+// ConfigKind selects one of the predefined framework configurations (§4.3).
+type ConfigKind int
+
+const (
+	// Naive treats every document as its own meta document.  Useful when
+	// documents are large, inter-document links few, and queries rarely
+	// cross document boundaries (e.g. the INEX collection).
+	Naive ConfigKind = iota
+	// MaximalPPO greedily groups documents into maximal tree-shaped
+	// partitions indexed with PPO; remaining documents fall back to a
+	// graph strategy.  Useful for link-poor collections like DBLP.
+	MaximalPPO
+	// UnconnectedHOPI partitions the collection into size-bounded groups
+	// with few crossing links and indexes each with HOPI — the first two
+	// steps of HOPI's divide-and-conquer build.  Useful when most
+	// documents contain links.
+	UnconnectedHOPI
+	// Hybrid combines MaximalPPO on the tree-like regions with
+	// UnconnectedHOPI on the densely linked rest — the mixed setting of
+	// Figure 1.
+	Hybrid
+	// Monolithic indexes the whole collection as a single meta document
+	// with the strategy named in Config.Strategy ("hopi" by default).
+	// It exists to run the paper's comparators (full HOPI, full APEX)
+	// through the same machinery.
+	Monolithic
+	// ElementLevel builds meta documents on the element level (§7 future
+	// work): connected elements are grouped into size-bounded partitions
+	// regardless of document boundaries, so an oversized document is
+	// split and tightly linked documents merge.  Edges crossing a
+	// partition — tree edges included — are followed at query run time.
+	ElementLevel
+)
+
+// String implements fmt.Stringer.
+func (k ConfigKind) String() string {
+	switch k {
+	case Naive:
+		return "naive"
+	case MaximalPPO:
+		return "maximal-ppo"
+	case UnconnectedHOPI:
+		return "unconnected-hopi"
+	case Hybrid:
+		return "hybrid"
+	case Monolithic:
+		return "monolithic"
+	case ElementLevel:
+		return "element-level"
+	default:
+		return fmt.Sprintf("ConfigKind(%d)", int(k))
+	}
+}
+
+// Config tunes the build phase.  The zero value is a usable Hybrid-less
+// Naive configuration; DefaultConfig returns the recommended Hybrid setup.
+type Config struct {
+	// Kind selects the meta-document configuration.
+	Kind ConfigKind
+	// PartitionSize bounds the element count of UnconnectedHOPI/Hybrid
+	// partitions.  Default 5000 (the paper's HOPI-5000).
+	PartitionSize int
+	// MinTreeDocs is the minimum number of documents for a Hybrid tree
+	// partition to stay on the PPO side.  Default 2.
+	MinTreeDocs int
+	// Load hints the Indexing Strategy Selector about the query load.
+	Load meta.QueryLoad
+	// Strategy optionally forces a per-meta-document strategy by name
+	// ("ppo", "hopi", "apex", "tc"); infeasible choices fall back to the
+	// selector's heuristic.  Monolithic uses it as the single strategy.
+	Strategy string
+}
+
+// DefaultConfig returns the recommended configuration: Hybrid partitions of
+// at most 5000 elements.
+func DefaultConfig() Config {
+	return Config{Kind: Hybrid, PartitionSize: 5000, MinTreeDocs: 2}
+}
+
+func (c Config) withDefaults() Config {
+	if c.PartitionSize <= 0 {
+		c.PartitionSize = 5000
+	}
+	if c.MinTreeDocs <= 0 {
+		c.MinTreeDocs = 2
+	}
+	return c
+}
+
+// Index is a built FliX index over one collection.  It is immutable and
+// safe for concurrent queries.
+type Index struct {
+	coll  *xmlgraph.Collection
+	set   *meta.Set
+	pis   []pathindex.Index
+	cfg   Config
+	stats QueryStats
+}
+
+// Build runs the build phase on a frozen collection.
+func Build(c *xmlgraph.Collection, cfg Config) (*Index, error) {
+	if !c.Frozen() {
+		return nil, fmt.Errorf("flix: collection must be frozen before Build")
+	}
+	cfg = cfg.withDefaults()
+	preferred := cfg.Strategy
+	var set *meta.Set
+	switch cfg.Kind {
+	case Naive:
+		set = meta.Build(c, partition.Singleton(c))
+	case MaximalPPO:
+		set = meta.Build(c, partition.TreePartitions(c))
+		if preferred == "" {
+			preferred = "ppo"
+		}
+	case UnconnectedHOPI:
+		set = meta.Build(c, partition.SizeBounded(c, cfg.PartitionSize))
+		if preferred == "" {
+			preferred = "hopi"
+		}
+	case Hybrid:
+		set = meta.Build(c, partition.Hybrid(c, cfg.PartitionSize, cfg.MinTreeDocs))
+	case Monolithic:
+		set = meta.Build(c, partition.Whole(c))
+		if preferred == "" {
+			preferred = "hopi"
+		}
+	case ElementLevel:
+		assign, parts := partition.ElementLevel(c, cfg.PartitionSize)
+		set = meta.BuildElements(c, assign, parts)
+	default:
+		return nil, fmt.Errorf("flix: unknown configuration kind %v", cfg.Kind)
+	}
+	ix := &Index{coll: c, set: set, cfg: cfg, pis: make([]pathindex.Index, len(set.Metas))}
+	if err := ix.buildIndexes(preferred); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// buildIndexes constructs the per-meta-document indexes, in parallel across
+// the available CPUs — meta documents are independent, so this is the
+// natural parallelism of the build phase.
+func (ix *Index) buildIndexes(preferred string) error {
+	metas := ix.set.Metas
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(metas) {
+		workers = len(metas)
+	}
+	if workers <= 1 {
+		for i, md := range metas {
+			idx, err := meta.BuildIndex(md, ix.cfg.Load, preferred)
+			if err != nil {
+				return err
+			}
+			ix.pis[i] = idx
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		firstE  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(metas) {
+					return
+				}
+				idx, err := meta.BuildIndex(metas[i], ix.cfg.Load, preferred)
+				if err != nil {
+					errOnce.Do(func() { firstE = err })
+					return
+				}
+				ix.pis[i] = idx
+			}
+		}()
+	}
+	wg.Wait()
+	return firstE
+}
+
+// Collection returns the indexed collection.
+func (ix *Index) Collection() *xmlgraph.Collection { return ix.coll }
+
+// Config returns the configuration the index was built with.
+func (ix *Index) Config() Config { return ix.cfg }
+
+// NumMetaDocuments returns the number of meta documents.
+func (ix *Index) NumMetaDocuments() int { return len(ix.set.Metas) }
+
+// RuntimeLinks returns the number of links followed at query time rather
+// than being represented in an index.
+func (ix *Index) RuntimeLinks() int {
+	n := 0
+	for _, md := range ix.set.Metas {
+		n += len(md.OutLinks)
+	}
+	return n
+}
+
+// StrategyCounts reports how many meta documents use each strategy.
+func (ix *Index) StrategyCounts() map[string]int {
+	out := make(map[string]int)
+	for _, p := range ix.pis {
+		out[p.Name()]++
+	}
+	return out
+}
+
+// Describe returns a one-line human-readable summary.
+func (ix *Index) Describe() string {
+	counts := ix.StrategyCounts()
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := fmt.Sprintf("%s: %d meta documents (", ix.cfg.Kind, len(ix.set.Metas))
+	for i, n := range names {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s×%d", n, counts[n])
+	}
+	return s + fmt.Sprintf("), %d runtime links", ix.RuntimeLinks())
+}

@@ -1,0 +1,146 @@
+package flix
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xmlgraph"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c, ids := buildSample(t)
+	for _, cfg := range allConfigs() {
+		orig, err := Build(c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := orig.WriteTo(&buf); err != nil {
+			t.Fatalf("%v: WriteTo: %v", cfg, err)
+		}
+		loaded, err := Load(c, &buf)
+		if err != nil {
+			t.Fatalf("%v: Load: %v", cfg, err)
+		}
+		// The loaded index must answer queries identically.
+		for _, tag := range []string{"title", "article", ""} {
+			want := collect(orig, ids["bib"], tag, Options{})
+			got := collect(loaded, ids["bib"], tag, Options{})
+			if len(want) != len(got) {
+				t.Fatalf("%v: %q: %d vs %d results", cfg, tag, len(want), len(got))
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("%v: %q: result %d: %v vs %v", cfg, tag, i, want[i], got[i])
+				}
+			}
+		}
+		if orig.NumMetaDocuments() != loaded.NumMetaDocuments() {
+			t.Errorf("%v: meta counts differ", cfg)
+		}
+		// Ancestors exercise the reverse structures rebuilt on load.
+		var a1, a2 []Result
+		orig.Ancestors(ids["title2"], "", Options{}, func(r Result) bool { a1 = append(a1, r); return true })
+		loaded.Ancestors(ids["title2"], "", Options{}, func(r Result) bool { a2 = append(a2, r); return true })
+		if len(a1) != len(a2) {
+			t.Errorf("%v: ancestors differ: %v vs %v", cfg, a1, a2)
+		}
+	}
+}
+
+func TestLoadWrongCollection(t *testing.T) {
+	c, _ := buildSample(t)
+	ix, err := Build(c, Config{Kind: Naive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A different collection must be rejected.
+	other := xmlgraph.NewCollection()
+	b := other.NewDocument("x")
+	b.Enter("r", "")
+	b.Leave()
+	b.Close()
+	other.Freeze()
+	if _, err := Load(other, &buf); err == nil {
+		t.Error("Load accepted a mismatched collection")
+	}
+}
+
+func TestLoadTruncated(t *testing.T) {
+	c, _ := buildSample(t)
+	ix, err := Build(c, Config{Kind: Hybrid, PartitionSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{1, len(full) / 2, len(full) - 1} {
+		if _, err := Load(c, bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("Load accepted stream truncated at %d bytes", cut)
+		}
+	}
+	// Garbage magic.
+	if _, err := Load(c, bytes.NewReader([]byte("XXXXgarbage"))); err == nil {
+		t.Error("Load accepted garbage")
+	}
+	// Unfrozen collection.
+	fresh := xmlgraph.NewCollection()
+	if _, err := Load(fresh, bytes.NewReader(full)); err == nil {
+		t.Error("Load accepted unfrozen collection")
+	}
+}
+
+func TestPropertySaveLoadEquivalence(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 10}
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := xmlgraph.RandomCollection(rng, 2+rng.Intn(6), 10, rng.Intn(12))
+		confs := allConfigs()
+		conf := confs[rng.Intn(len(confs))]
+		orig, err := Build(c, conf)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if _, err := orig.WriteTo(&buf); err != nil {
+			return false
+		}
+		loaded, err := Load(c, &buf)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 4; trial++ {
+			start := xmlgraph.NodeID(rng.Intn(c.NumNodes()))
+			a := collect(orig, start, "", Options{})
+			b := collect(loaded, start, "", Options{})
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+			x := xmlgraph.NodeID(rng.Intn(c.NumNodes()))
+			y := xmlgraph.NodeID(rng.Intn(c.NumNodes()))
+			d1, ok1 := orig.Connected(x, y, 0)
+			d2, ok2 := loaded.Connected(x, y, 0)
+			if ok1 != ok2 || (ok1 && d1 != d2) {
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}

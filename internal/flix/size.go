@@ -1,0 +1,142 @@
+package flix
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/meta"
+	"repro/internal/partition"
+	"repro/internal/pathindex"
+	"repro/internal/storage"
+	"repro/internal/xmlgraph"
+)
+
+// WriteTo serializes every meta-document index plus the runtime link tables
+// (the data a FliX deployment must persist); the byte count is the "index
+// size" the experiments report (Table 1).  Load restores the index against
+// the same collection.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	sw := storage.NewWriter(w)
+	sw.Header("flix")
+	sw.Varint(int64(ix.cfg.Kind))
+	sw.Varint(int64(ix.cfg.PartitionSize))
+	sw.Varint(int64(ix.cfg.MinTreeDocs))
+	sw.Varint(int64(ix.cfg.Load))
+	sw.String(ix.cfg.Strategy)
+	sw.Uvarint(uint64(len(ix.pis)))
+	n, err := sw.Flush()
+	if err != nil {
+		return n, err
+	}
+	total += n
+	for i, p := range ix.pis {
+		n, err := p.WriteTo(w)
+		total += n
+		if err != nil {
+			return total, err
+		}
+		// Runtime link table of this meta document.
+		lw := storage.NewWriter(w)
+		md := ix.set.Metas[i]
+		lw.Uvarint(uint64(len(md.OutLinks)))
+		for _, cl := range md.OutLinks {
+			lw.Int32(cl.FromLocal)
+			lw.Int32(int32(cl.To))
+		}
+		n, err = lw.Flush()
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// SizeBytes measures the serialized index size.
+func (ix *Index) SizeBytes() (int64, error) {
+	return ix.WriteTo(io.Discard)
+}
+
+// Load restores an index written by WriteTo.  The collection must be the
+// one the index was built over: the meta-document decomposition is
+// recomputed deterministically from the stored configuration and the
+// per-meta-document indexes are deserialized instead of rebuilt.  The
+// stored link tables are checked against the recomputed decomposition, so
+// a mismatched collection is detected rather than silently mis-queried.
+func Load(c *xmlgraph.Collection, r io.Reader) (*Index, error) {
+	if !c.Frozen() {
+		return nil, fmt.Errorf("flix: collection must be frozen before Load")
+	}
+	sr := storage.NewReader(r)
+	if err := sr.Header("flix"); err != nil {
+		return nil, err
+	}
+	cfg := Config{
+		Kind:          ConfigKind(sr.Varint()),
+		PartitionSize: int(sr.Varint()),
+		MinTreeDocs:   int(sr.Varint()),
+		Load:          meta.QueryLoad(sr.Varint()),
+		Strategy:      sr.String(),
+	}
+	nMetas := int(sr.Uvarint())
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+
+	var set *meta.Set
+	switch cfg.Kind {
+	case Naive:
+		set = meta.Build(c, partition.Singleton(c))
+	case MaximalPPO:
+		set = meta.Build(c, partition.TreePartitions(c))
+	case UnconnectedHOPI:
+		set = meta.Build(c, partition.SizeBounded(c, cfg.PartitionSize))
+	case Hybrid:
+		set = meta.Build(c, partition.Hybrid(c, cfg.PartitionSize, cfg.MinTreeDocs))
+	case Monolithic:
+		set = meta.Build(c, partition.Whole(c))
+	case ElementLevel:
+		assign, parts := partition.ElementLevel(c, cfg.PartitionSize)
+		set = meta.BuildElements(c, assign, parts)
+	default:
+		return nil, fmt.Errorf("flix: stored configuration kind %d unknown", cfg.Kind)
+	}
+	if len(set.Metas) != nMetas {
+		return nil, fmt.Errorf("flix: stream has %d meta documents, collection yields %d — wrong collection?",
+			nMetas, len(set.Metas))
+	}
+	ix := &Index{coll: c, set: set, cfg: cfg, pis: make([]pathindex.Index, nMetas)}
+	for i, md := range set.Metas {
+		kind, err := sr.ReadHeader()
+		if err != nil {
+			return nil, fmt.Errorf("flix: meta %d: %w", i, err)
+		}
+		read, ok := meta.Readers[kind]
+		if !ok {
+			return nil, fmt.Errorf("flix: meta %d: unknown index kind %q", i, kind)
+		}
+		idx, err := read(md.Graph, sr)
+		if err != nil {
+			return nil, fmt.Errorf("flix: meta %d: %w", i, err)
+		}
+		ix.pis[i] = idx
+		// Verify the stored link table against the recomputed one.
+		nl := int(sr.Uvarint())
+		if err := sr.Err(); err != nil {
+			return nil, err
+		}
+		if nl != len(md.OutLinks) {
+			return nil, fmt.Errorf("flix: meta %d: stream has %d runtime links, collection yields %d",
+				i, nl, len(md.OutLinks))
+		}
+		for j := 0; j < nl; j++ {
+			from := sr.Int32()
+			to := xmlgraph.NodeID(sr.Int32())
+			if md.OutLinks[j].FromLocal != from || md.OutLinks[j].To != to {
+				return nil, fmt.Errorf("flix: meta %d: runtime link %d mismatch", i, j)
+			}
+		}
+	}
+	return ix, sr.Err()
+}

@@ -1,0 +1,118 @@
+package flix
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// QueryStats aggregates query-load statistics, the input of the §7
+// self-tuning loop: "if it turns out in the query evaluation engine that
+// most queries have to follow many links, then the choice of meta documents
+// is no longer optimal for the current query load".
+//
+// Counters are updated atomically by every evaluation, so an Index can be
+// shared by concurrent readers while statistics accumulate.
+type QueryStats struct {
+	// Queries counts completed evaluations.
+	Queries atomic.Int64
+	// Entries counts processed entry elements (priority-queue pops that
+	// were not dropped by duplicate elimination).
+	Entries atomic.Int64
+	// LinkHops counts runtime link traversals (frontier pushes).
+	LinkHops atomic.Int64
+	// Results counts emitted results.
+	Results atomic.Int64
+}
+
+// Snapshot is an immutable copy of the counters.
+type Snapshot struct {
+	Queries, Entries, LinkHops, Results int64
+}
+
+// Snapshot returns a consistent-enough copy for reporting (individual
+// counters are read atomically; cross-counter skew of in-flight queries is
+// acceptable for tuning purposes).
+func (s *QueryStats) Snapshot() Snapshot {
+	return Snapshot{
+		Queries:  s.Queries.Load(),
+		Entries:  s.Entries.Load(),
+		LinkHops: s.LinkHops.Load(),
+		Results:  s.Results.Load(),
+	}
+}
+
+// LinkHopsPerQuery returns the average number of runtime link traversals.
+func (s Snapshot) LinkHopsPerQuery() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.LinkHops) / float64(s.Queries)
+}
+
+// EntriesPerQuery returns the average number of meta-document entries.
+func (s Snapshot) EntriesPerQuery() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.Entries) / float64(s.Queries)
+}
+
+// String renders the snapshot for logs.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("queries=%d entries/q=%.1f linkHops/q=%.1f results=%d",
+		s.Queries, s.EntriesPerQuery(), s.LinkHopsPerQuery(), s.Results)
+}
+
+// Stats returns the index's live query statistics.
+func (ix *Index) Stats() *QueryStats { return &ix.stats }
+
+// Advice is the outcome of the self-tuning analysis.
+type Advice struct {
+	// Rebuild reports whether a reconfiguration looks worthwhile.
+	Rebuild bool
+	// Config is the suggested replacement configuration (meaningful only
+	// when Rebuild is true).
+	Config Config
+	// Reason explains the recommendation.
+	Reason string
+}
+
+// Advise implements the self-tuning heuristic sketched in §7: when the
+// observed query load crosses many meta-document boundaries, the build
+// phase "should start again, taking statistics on the query load into
+// account" — here by enlarging the partitions (fewer, bigger meta
+// documents) or, beyond that, falling back to a monolithic index.  The
+// caller decides whether to act by rebuilding with the returned Config.
+func (ix *Index) Advise() Advice {
+	s := ix.stats.Snapshot()
+	if s.Queries < 10 {
+		return Advice{Reason: "not enough queries observed"}
+	}
+	hops := s.LinkHopsPerQuery()
+	entries := s.EntriesPerQuery()
+	cfg := ix.cfg
+	switch {
+	case entries <= 4 && hops <= 16:
+		return Advice{Reason: fmt.Sprintf(
+			"load is local (%.1f entries/query, %.1f link hops/query); configuration fits", entries, hops)}
+	case cfg.Kind == Monolithic:
+		return Advice{Reason: "already monolithic; nothing coarser to rebuild to"}
+	case (cfg.Kind == UnconnectedHOPI || cfg.Kind == Hybrid) && cfg.PartitionSize < 1<<20:
+		next := cfg
+		next.PartitionSize = cfg.PartitionSize * 4
+		return Advice{
+			Rebuild: true,
+			Config:  next,
+			Reason: fmt.Sprintf(
+				"%.1f link hops/query: enlarge partitions %d -> %d to keep queries inside one meta document",
+				hops, cfg.PartitionSize, next.PartitionSize),
+		}
+	default:
+		return Advice{
+			Rebuild: true,
+			Config:  Config{Kind: UnconnectedHOPI, PartitionSize: 20000, Load: cfg.Load},
+			Reason: fmt.Sprintf(
+				"%.1f link hops/query with %.1f entries/query: switch to size-bounded HOPI partitions", hops, entries),
+		}
+	}
+}

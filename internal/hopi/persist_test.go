@@ -1,0 +1,109 @@
+package hopi
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lgraph"
+	"repro/internal/storage"
+)
+
+func roundTrip(t testing.TB, g *lgraph.LGraph, idx *Index) *Index {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r := storage.NewReader(&buf)
+	if err := r.Header("hopi"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBody(g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got.(*Index)
+}
+
+func TestReadBodyRoundTrip(t *testing.T) {
+	g, idx := buildGraph(t)
+	loaded := roundTrip(t, g, idx)
+	if loaded.LabelEntries() != idx.LabelEntries() {
+		t.Fatalf("label entries: %d vs %d", loaded.LabelEntries(), idx.LabelEntries())
+	}
+	for x := int32(0); x < int32(g.NumNodes()); x++ {
+		for y := int32(0); y < int32(g.NumNodes()); y++ {
+			d1, ok1 := idx.Distance(x, y)
+			d2, ok2 := loaded.Distance(x, y)
+			if ok1 != ok2 || (ok1 && d1 != d2) {
+				t.Fatalf("Distance(%d,%d): %d,%t vs %d,%t", x, y, d1, ok1, d2, ok2)
+			}
+		}
+	}
+}
+
+func TestReadBodyWrongGraph(t *testing.T) {
+	g, idx := buildGraph(t)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_ = g
+	b := lgraph.NewBuilder()
+	b.AddNode("a")
+	small := b.Finish()
+	r := storage.NewReader(&buf)
+	if err := r.Header("hopi"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBody(small, r); err == nil {
+		t.Error("ReadBody accepted a mismatched graph")
+	}
+}
+
+func TestReadBodyCorrupt(t *testing.T) {
+	g, idx := buildGraph(t)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	trunc := data[:len(data)/2]
+	r := storage.NewReader(bytes.NewReader(trunc))
+	if err := r.Header("hopi"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBody(g, r); err == nil {
+		t.Error("ReadBody accepted a truncated stream")
+	}
+}
+
+func TestPropertyPersistRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 15}
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := randomGraph(rng, n, rng.Intn(3*n))
+		idx := Build(g)
+		loaded := roundTrip(t, g, idx)
+		x := int32(rng.Intn(n))
+		// Enumeration including the rebuilt postings must agree.
+		var a, b [][2]int32
+		idx.EachReachable(x, func(u, d int32) bool { a = append(a, [2]int32{u, d}); return true })
+		loaded.EachReachable(x, func(u, d int32) bool { b = append(b, [2]int32{u, d}); return true })
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}

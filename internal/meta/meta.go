@@ -1,0 +1,226 @@
+// Package meta implements FliX's Meta Document Builder and Indexing
+// Strategy Selector (§3.2, §4.1).
+//
+// A meta document is a subset of the collection's documents together with
+// the link edges represented inside it.  The builder flattens each part of
+// a document partitioning into a local labeled graph (lgraph.LGraph) with a
+// dense node numbering, and records the remaining links — the ones the Path
+// Expression Evaluator follows at query run time — as cross links attached
+// to their source meta documents.
+package meta
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lgraph"
+	"repro/internal/partition"
+	"repro/internal/xmlgraph"
+)
+
+// CrossLink is a link edge not represented in any meta document index.  The
+// source is local to the owning meta document; the target is global because
+// it usually lies in another meta document.
+type CrossLink struct {
+	FromLocal int32
+	To        xmlgraph.NodeID
+}
+
+// InLink is the mirror image for the ancestors direction.
+type InLink struct {
+	From    xmlgraph.NodeID
+	ToLocal int32
+}
+
+// MetaDocument is one unit of indexing.
+type MetaDocument struct {
+	// ID is the meta document's index in its Set.
+	ID int
+	// Docs lists the member documents, ascending.  Element-level meta
+	// documents (BuildElements) cut across documents and leave Docs nil.
+	Docs []xmlgraph.DocID
+	// Graph is the local data graph: tree edges plus included links.
+	Graph *lgraph.LGraph
+	// OutLinks lists the runtime links leaving elements of this meta
+	// document, sorted by FromLocal.
+	OutLinks []CrossLink
+	// InLinks lists the runtime links entering this meta document,
+	// sorted by ToLocal.
+	InLinks []InLink
+	// LinkSources lists the distinct local nodes with at least one
+	// outgoing runtime link, ascending — the set L_i of §4.2.
+	LinkSources []int32
+	// linkStart[i] indexes into OutLinks for LinkSources[i] lookups.
+	linkOf map[int32][]CrossLink
+
+	// toGlobal maps local node IDs to collection node IDs.
+	toGlobal []xmlgraph.NodeID
+}
+
+// ToGlobal converts a local node ID to the collection node ID.
+func (m *MetaDocument) ToGlobal(local int32) xmlgraph.NodeID {
+	return m.toGlobal[local]
+}
+
+// LinksFrom returns the runtime links leaving the given local node.
+func (m *MetaDocument) LinksFrom(local int32) []CrossLink {
+	return m.linkOf[local]
+}
+
+// Set is a complete meta-document decomposition of a collection.
+type Set struct {
+	Coll  *xmlgraph.Collection
+	Metas []*MetaDocument
+	// MetaOf and LocalOf map a collection node to its meta document and
+	// local node ID.
+	MetaOf  []int32
+	LocalOf []int32
+}
+
+// Build flattens a document-level partitioning into meta documents.
+func Build(c *xmlgraph.Collection, r *partition.Result) *Set {
+	s := &Set{
+		Coll:    c,
+		MetaOf:  make([]int32, c.NumNodes()),
+		LocalOf: make([]int32, c.NumNodes()),
+	}
+	s.Metas = make([]*MetaDocument, len(r.Parts))
+	for pi, docs := range r.Parts {
+		md := &MetaDocument{ID: pi, Docs: docs}
+		for _, d := range docs {
+			first, last := c.Doc(d).Nodes()
+			for n := first; n < last; n++ {
+				s.MetaOf[n] = int32(pi)
+				s.LocalOf[n] = int32(len(md.toGlobal))
+				md.toGlobal = append(md.toGlobal, n)
+			}
+		}
+		s.Metas[pi] = md
+	}
+	// Tree edges always stay inside one meta document (documents are
+	// atomic at this level); links follow IncludedLinks.
+	s.wireEdges(func(i int) bool { return r.IncludedLinks[i] })
+	return s
+}
+
+// BuildElements flattens a node-level assignment into meta documents — the
+// element-level meta documents sketched in §7 ("ignore the artificial
+// boundary of documents and combine semantically related, connected
+// elements into a single meta document").  assign[n] gives the partition of
+// node n (0 <= assign[n] < parts).  Any edge crossing the assignment —
+// including a parent-child tree edge — becomes a runtime link; the Path
+// Expression Evaluator handles those uniformly.
+func BuildElements(c *xmlgraph.Collection, assign []int32, parts int) *Set {
+	s := &Set{
+		Coll:    c,
+		MetaOf:  make([]int32, c.NumNodes()),
+		LocalOf: make([]int32, c.NumNodes()),
+	}
+	s.Metas = make([]*MetaDocument, parts)
+	for pi := range s.Metas {
+		s.Metas[pi] = &MetaDocument{ID: pi}
+	}
+	for n := xmlgraph.NodeID(0); int(n) < c.NumNodes(); n++ {
+		md := s.Metas[assign[n]]
+		s.MetaOf[n] = assign[n]
+		s.LocalOf[n] = int32(len(md.toGlobal))
+		md.toGlobal = append(md.toGlobal, n)
+	}
+	s.wireEdges(func(i int) bool {
+		l := c.Links()[i]
+		return assign[l.From] == assign[l.To]
+	})
+	return s
+}
+
+// wireEdges builds each meta document's local graph and the runtime link
+// tables.  Tree edges whose endpoints fall into different meta documents
+// (possible only for element-level sets) become runtime links; data links
+// follow linkIncluded.
+func (s *Set) wireEdges(linkIncluded func(i int) bool) {
+	c := s.Coll
+	builders := make([]*lgraph.Builder, len(s.Metas))
+	for pi, md := range s.Metas {
+		b := lgraph.NewBuilder()
+		for _, n := range md.toGlobal {
+			b.AddNode(c.Tag(n))
+		}
+		builders[pi] = b
+	}
+	cross := func(from, to xmlgraph.NodeID) {
+		src := s.Metas[s.MetaOf[from]]
+		src.OutLinks = append(src.OutLinks, CrossLink{FromLocal: s.LocalOf[from], To: to})
+		dst := s.Metas[s.MetaOf[to]]
+		dst.InLinks = append(dst.InLinks, InLink{From: from, ToLocal: s.LocalOf[to]})
+	}
+	for pi, md := range s.Metas {
+		for _, n := range md.toGlobal {
+			c.EachChild(n, func(ch xmlgraph.NodeID) {
+				if s.MetaOf[ch] == int32(pi) {
+					builders[pi].AddEdge(s.LocalOf[n], s.LocalOf[ch])
+				} else {
+					cross(n, ch)
+				}
+			})
+		}
+	}
+	for i, l := range c.Links() {
+		if linkIncluded(i) {
+			pi := s.MetaOf[l.From]
+			builders[pi].AddEdge(s.LocalOf[l.From], s.LocalOf[l.To])
+			continue
+		}
+		cross(l.From, l.To)
+	}
+	for pi, md := range s.Metas {
+		md.Graph = builders[pi].Finish()
+		sort.Slice(md.OutLinks, func(a, b int) bool {
+			if md.OutLinks[a].FromLocal != md.OutLinks[b].FromLocal {
+				return md.OutLinks[a].FromLocal < md.OutLinks[b].FromLocal
+			}
+			return md.OutLinks[a].To < md.OutLinks[b].To
+		})
+		sort.Slice(md.InLinks, func(a, b int) bool {
+			if md.InLinks[a].ToLocal != md.InLinks[b].ToLocal {
+				return md.InLinks[a].ToLocal < md.InLinks[b].ToLocal
+			}
+			return md.InLinks[a].From < md.InLinks[b].From
+		})
+		md.linkOf = make(map[int32][]CrossLink)
+		for _, cl := range md.OutLinks {
+			if len(md.linkOf[cl.FromLocal]) == 0 {
+				md.LinkSources = append(md.LinkSources, cl.FromLocal)
+			}
+			md.linkOf[cl.FromLocal] = append(md.linkOf[cl.FromLocal], cl)
+		}
+	}
+}
+
+// Validate checks the internal consistency of the set; it is used by tests
+// and by flixquery's --check mode.
+func (s *Set) Validate() error {
+	seen := make([]bool, s.Coll.NumNodes())
+	for pi, md := range s.Metas {
+		if md.Graph.NumNodes() != len(md.toGlobal) {
+			return fmt.Errorf("meta %d: graph has %d nodes, mapping %d", pi, md.Graph.NumNodes(), len(md.toGlobal))
+		}
+		for local, g := range md.toGlobal {
+			if seen[g] {
+				return fmt.Errorf("node %d in two meta documents", g)
+			}
+			seen[g] = true
+			if s.MetaOf[g] != int32(pi) || s.LocalOf[g] != int32(local) {
+				return fmt.Errorf("node %d: inconsistent mapping", g)
+			}
+			if md.Graph.TagName(md.Graph.Tag(int32(local))) != s.Coll.Tag(g) {
+				return fmt.Errorf("node %d: tag mismatch", g)
+			}
+		}
+	}
+	for _, ok := range seen {
+		if !ok {
+			return fmt.Errorf("meta set does not cover all nodes")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package meta
+
+import (
+	"fmt"
+
+	"repro/internal/apex"
+	"repro/internal/hopi"
+	"repro/internal/pathindex"
+	"repro/internal/ppo"
+	"repro/internal/tc"
+)
+
+// QueryLoad describes the dominant query pattern, one of the inputs of the
+// Indexing Strategy Selector (§4.1): which axes dominate, how long result
+// paths are.
+type QueryLoad int
+
+const (
+	// LoadDescendants: long descendants-or-self paths with wildcards —
+	// the workload FliX is optimized for.  Graph-shaped meta documents
+	// get HOPI.
+	LoadDescendants QueryLoad = iota
+	// LoadShortPaths: short paths without wildcards; APEX "will do fine"
+	// (§2.2) and is much cheaper to build than HOPI.
+	LoadShortPaths
+)
+
+// String implements fmt.Stringer.
+func (l QueryLoad) String() string {
+	switch l {
+	case LoadDescendants:
+		return "descendants"
+	case LoadShortPaths:
+		return "short-paths"
+	default:
+		return fmt.Sprintf("QueryLoad(%d)", int(l))
+	}
+}
+
+// Registry lists every available Path Indexing Strategy by name.  The
+// "a1"/"a2" entries are the A(k)-index variants of the Index Definition
+// Scheme (§2.2): coarser structural summaries that trade pruning power for
+// build time and size.
+var Registry = map[string]pathindex.Strategy{
+	"ppo":     ppo.Strategy,
+	"hopi":    hopi.Strategy,
+	"hopi-dc": hopi.DCStrategy(20000),
+	"apex":    apex.Strategy,
+	"a1":      apex.StrategyK(1),
+	"a2":      apex.StrategyK(2),
+	"tc":      tc.Strategy,
+}
+
+// Readers maps a serialized index kind to its deserializer; used when
+// loading a persisted FliX index.
+var Readers = map[string]pathindex.BodyReader{
+	"ppo":  ppo.ReadBody,
+	"hopi": hopi.ReadBody,
+	"apex": apex.ReadBody,
+	"tc":   tc.ReadBody,
+}
+
+// Select implements the Indexing Strategy Selector: it picks the optimal
+// strategy for one meta document, following the paper's rule of thumb
+// (§2.2):
+//
+//   - no links, i.e. the local graph is a forest: PPO — cheapest and exact;
+//   - otherwise HOPI for descendants-dominated loads, APEX for short-path
+//     loads.
+//
+// The preferred name, when non-empty, overrides the heuristic if the
+// strategy is applicable (a PPO preference on a non-forest graph falls back
+// to the heuristic).
+func Select(md *MetaDocument, load QueryLoad, preferred string) pathindex.Strategy {
+	if preferred != "" {
+		if s, ok := Registry[preferred]; ok {
+			if !s.RequiresForest || md.Graph.IsForest() {
+				return s
+			}
+		}
+	}
+	if md.Graph.IsForest() {
+		return ppo.Strategy
+	}
+	if load == LoadShortPaths {
+		return apex.Strategy
+	}
+	return hopi.Strategy
+}
+
+// BuildIndex selects and builds the index for one meta document.
+func BuildIndex(md *MetaDocument, load QueryLoad, preferred string) (pathindex.Index, error) {
+	s := Select(md, load, preferred)
+	idx, err := s.Build(md.Graph)
+	if err != nil {
+		return nil, fmt.Errorf("meta %d: building %s: %w", md.ID, s.Name, err)
+	}
+	return idx, nil
+}

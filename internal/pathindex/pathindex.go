@@ -1,0 +1,93 @@
+// Package pathindex defines the contract every Path Indexing Strategy (PIS,
+// FliX §3.2) fulfils, plus the strategy registry the Indexing Strategy
+// Selector chooses from.
+//
+// An Index answers reachability, distance and "descendants by element name"
+// queries over one meta document's local graph (an lgraph.LGraph).  All
+// enumeration methods stream results through callbacks in ascending distance
+// order (ties broken by node ID) — the order the Path Expression Evaluator
+// relies on to produce approximately distance-ordered global results.
+package pathindex
+
+import (
+	"io"
+
+	"repro/internal/lgraph"
+	"repro/internal/storage"
+)
+
+// Visit receives one result node with its distance from the query node.
+// Returning false stops the enumeration.
+type Visit func(node, dist int32) bool
+
+// Index is a connection index over one local graph.
+//
+// Reachability follows the descendants-or-self axis: every node reaches
+// itself at distance 0.
+type Index interface {
+	// Name identifies the strategy (e.g. "ppo", "hopi", "apex").
+	Name() string
+
+	// NumNodes returns the number of nodes of the indexed graph.
+	NumNodes() int
+
+	// Reachable reports whether there is a (possibly empty) path x -> y.
+	Reachable(x, y int32) bool
+
+	// Distance returns the shortest-path distance from x to y, and false
+	// if y is not reachable from x.
+	Distance(x, y int32) (int32, bool)
+
+	// EachReachable enumerates every node reachable from x (including x,
+	// at distance 0) in ascending distance order.
+	EachReachable(x int32, fn Visit)
+
+	// EachReachableByTag enumerates the reachable nodes carrying tag, in
+	// ascending distance order.  x itself is included when it carries the
+	// tag (descendants-or-self semantics); callers wanting strict
+	// descendants skip dist 0.
+	EachReachableByTag(x int32, tag lgraph.Tag, fn Visit)
+
+	// EachReaching enumerates every node that reaches x (the
+	// ancestors-or-self axis), in ascending distance order.
+	EachReaching(x int32, fn Visit)
+
+	// EachReachingByTag is EachReaching restricted to one tag.
+	EachReachingByTag(x int32, tag lgraph.Tag, fn Visit)
+
+	// WriteTo serializes the index; the byte count is the "index size"
+	// reported in the experiments.
+	io.WriterTo
+}
+
+// Builder constructs an Index for a local graph.  Builders may fail, e.g.
+// PPO refuses non-forest graphs.
+type Builder func(g *lgraph.LGraph) (Index, error)
+
+// BodyReader deserializes an index from a stream whose header (magic +
+// kind) has already been consumed — the caller dispatches on the kind.
+// The local graph must be the one the index was built over.
+type BodyReader func(g *lgraph.LGraph, r *storage.Reader) (Index, error)
+
+// Strategy pairs a strategy name with its builder and the structural
+// constraints the Indexing Strategy Selector checks.
+type Strategy struct {
+	// Name is the registry key.
+	Name string
+	// Build constructs the index.
+	Build Builder
+	// RequiresForest marks strategies (PPO) that only work when the local
+	// graph is a forest.
+	RequiresForest bool
+}
+
+// FilterByTag adapts a Visit that should only see nodes of one tag; it is a
+// helper for Index implementations whose natural enumeration is untyped.
+func FilterByTag(g *lgraph.LGraph, tag lgraph.Tag, fn Visit) Visit {
+	return func(node, dist int32) bool {
+		if g.Tag(node) != tag {
+			return true
+		}
+		return fn(node, dist)
+	}
+}

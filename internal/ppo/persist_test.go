@@ -1,0 +1,107 @@
+package ppo
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/storage"
+)
+
+func TestReadBodyRoundTrip(t *testing.T) {
+	g, idx := buildTree(t)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r := storage.NewReader(&buf)
+	if err := r.Header("ppo"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBody(g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := got.(*Index)
+	for x := int32(0); x < int32(g.NumNodes()); x++ {
+		for y := int32(0); y < int32(g.NumNodes()); y++ {
+			if idx.Reachable(x, y) != loaded.Reachable(x, y) {
+				t.Fatalf("Reachable(%d,%d) differs", x, y)
+			}
+		}
+		if idx.SubtreeSize(x) != loaded.SubtreeSize(x) {
+			t.Errorf("SubtreeSize(%d): %d vs %d", x, idx.SubtreeSize(x), loaded.SubtreeSize(x))
+		}
+	}
+}
+
+func TestReadBodyWrongGraph(t *testing.T) {
+	g, idx := buildTree(t)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_ = g
+	small := randomForest(rand.New(rand.NewSource(1)), 3)
+	r := storage.NewReader(&buf)
+	if err := r.Header("ppo"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBody(small, r); err == nil {
+		t.Error("ReadBody accepted a mismatched graph")
+	}
+}
+
+func TestPropertyPersistRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 20}
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomForest(rng, 2+rng.Intn(40))
+		idx, err := Build(g)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if _, err := idx.WriteTo(&buf); err != nil {
+			return false
+		}
+		r := storage.NewReader(&buf)
+		if err := r.Header("ppo"); err != nil {
+			return false
+		}
+		gotIdx, err := ReadBody(g, r)
+		if err != nil {
+			return false
+		}
+		loaded := gotIdx.(*Index)
+		x := int32(rng.Intn(g.NumNodes()))
+		a := gatherAll(idx, x)
+		b := gatherAll(loaded, x)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func gatherAll(idx *Index, x int32) [][2]int32 {
+	var out [][2]int32
+	idx.EachReachable(x, func(n, d int32) bool {
+		out = append(out, [2]int32{n, d})
+		return true
+	})
+	idx.EachReaching(x, func(n, d int32) bool {
+		out = append(out, [2]int32{n, d})
+		return true
+	})
+	return out
+}

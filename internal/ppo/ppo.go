@@ -1,0 +1,365 @@
+// Package ppo implements the pre-/postorder path index of Grust (SIGMOD
+// 2002), the PPO strategy of FliX (§2.2).
+//
+// The index assigns every node of a forest its preorder and postorder rank
+// from one depth-first traversal.  A node x reaches y iff
+// pre(x) <= pre(y) and post(x) >= post(y); the distance between them is the
+// depth difference.  Building takes O(E) time and the index stores a
+// constant number of integers per node, which makes PPO the cheapest
+// strategy — but it is only applicable when the meta document's data graph
+// is a forest (no element with two incoming edges, no cycles).
+package ppo
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/lgraph"
+	"repro/internal/pathindex"
+	"repro/internal/storage"
+)
+
+// ErrNotForest is returned when the local graph has a node with more than
+// one incoming edge or a cycle.
+var ErrNotForest = errors.New("ppo: graph is not a forest")
+
+// Index is a pre/postorder connection index over a forest.
+type Index struct {
+	g *lgraph.LGraph
+
+	pre    []int32 // preorder rank per node
+	post   []int32 // postorder rank per node
+	depth  []int32 // tree depth per node (roots have 0)
+	parent []int32 // parent per node (-1 for roots)
+	size   []int32 // subtree size per node (including the node)
+	byPre  []int32 // node at each preorder rank (inverse of pre)
+
+	// tagPre[t] lists the preorder ranks of the nodes with tag t,
+	// ascending; used for the a//b range scan.
+	tagPre [][]int32
+}
+
+var _ pathindex.Index = (*Index)(nil)
+
+// Strategy is the registry entry for PPO.
+var Strategy = pathindex.Strategy{
+	Name:           "ppo",
+	Build:          func(g *lgraph.LGraph) (pathindex.Index, error) { return Build(g) },
+	RequiresForest: true,
+}
+
+// Build constructs the index.  It fails with ErrNotForest when the graph is
+// not a forest.
+func Build(g *lgraph.LGraph) (*Index, error) {
+	if !g.IsForest() {
+		return nil, ErrNotForest
+	}
+	n := int32(g.NumNodes())
+	idx := &Index{
+		g:      g,
+		pre:    make([]int32, n),
+		post:   make([]int32, n),
+		depth:  make([]int32, n),
+		parent: make([]int32, n),
+		size:   make([]int32, n),
+		byPre:  make([]int32, n),
+	}
+	for i := range idx.parent {
+		idx.parent[i] = -1
+	}
+	var preCtr, postCtr int32
+	// Iterative DFS with an explicit phase per node: first visit assigns
+	// pre, second assigns post and subtree size.
+	type frame struct {
+		node int32
+		next int // index into Succs
+	}
+	for _, root := range g.Roots() {
+		stack := []frame{{node: root}}
+		idx.pre[root] = preCtr
+		idx.byPre[preCtr] = root
+		preCtr++
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			succs := g.Succs(f.node)
+			if f.next < len(succs) {
+				ch := succs[f.next]
+				f.next++
+				idx.parent[ch] = f.node
+				idx.depth[ch] = idx.depth[f.node] + 1
+				idx.pre[ch] = preCtr
+				idx.byPre[preCtr] = ch
+				preCtr++
+				stack = append(stack, frame{node: ch})
+				continue
+			}
+			idx.post[f.node] = postCtr
+			postCtr++
+			sz := int32(1)
+			for _, ch := range succs {
+				sz += idx.size[ch]
+			}
+			idx.size[f.node] = sz
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if preCtr != n {
+		// IsForest should have caught this; keep the check as a guard
+		// against builder bugs.
+		return nil, ErrNotForest
+	}
+	idx.tagPre = make([][]int32, g.NumTags())
+	for p := int32(0); p < n; p++ {
+		t := g.Tag(idx.byPre[p])
+		idx.tagPre[t] = append(idx.tagPre[t], p)
+	}
+	return idx, nil
+}
+
+// Name implements pathindex.Index.
+func (idx *Index) Name() string { return "ppo" }
+
+// NumNodes implements pathindex.Index.
+func (idx *Index) NumNodes() int { return len(idx.pre) }
+
+// Reachable reports whether x reaches y (descendants-or-self), in O(1).
+func (idx *Index) Reachable(x, y int32) bool {
+	return idx.pre[x] <= idx.pre[y] && idx.post[x] >= idx.post[y]
+}
+
+// Distance returns the tree distance from x to y.
+func (idx *Index) Distance(x, y int32) (int32, bool) {
+	if !idx.Reachable(x, y) {
+		return 0, false
+	}
+	return idx.depth[y] - idx.depth[x], true
+}
+
+// Depth returns the tree depth of x (roots have depth 0).
+func (idx *Index) Depth(x int32) int32 { return idx.depth[x] }
+
+// Parent returns the parent of x, or -1.
+func (idx *Index) Parent(x int32) int32 { return idx.parent[x] }
+
+// Pre returns the preorder rank of x.
+func (idx *Index) Pre(x int32) int32 { return idx.pre[x] }
+
+// Post returns the postorder rank of x.
+func (idx *Index) Post(x int32) int32 { return idx.post[x] }
+
+// SubtreeSize returns the number of nodes in x's subtree, including x.
+func (idx *Index) SubtreeSize(x int32) int32 { return idx.size[x] }
+
+// EachReachable implements pathindex.Index.  The subtree of x is the
+// preorder interval [pre(x), pre(x)+size(x)); nodes are emitted bucketed by
+// depth, which equals ascending distance.
+func (idx *Index) EachReachable(x int32, fn pathindex.Visit) {
+	lo := idx.pre[x]
+	hi := lo + idx.size[x]
+	idx.emitInterval(x, idx.byPre[lo:hi], fn)
+}
+
+// emitInterval emits nodes (given directly) in ascending (distance, node)
+// order relative to x.
+func (idx *Index) emitInterval(x int32, nodes []int32, fn pathindex.Visit) {
+	if len(nodes) == 0 {
+		return
+	}
+	base := idx.depth[x]
+	buckets := make(map[int32][]int32)
+	var maxD int32
+	for _, n := range nodes {
+		d := idx.depth[n] - base
+		buckets[d] = append(buckets[d], n)
+		if d > maxD {
+			maxD = d
+		}
+	}
+	for d := int32(0); d <= maxD; d++ {
+		b := buckets[d]
+		if len(b) == 0 {
+			continue
+		}
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		for _, n := range b {
+			if !fn(n, d) {
+				return
+			}
+		}
+	}
+}
+
+// EachReachableByTag implements pathindex.Index using the per-tag preorder
+// lists: a binary search finds the slice of tag occurrences inside x's
+// preorder interval.
+func (idx *Index) EachReachableByTag(x int32, tag lgraph.Tag, fn pathindex.Visit) {
+	if tag < 0 || int(tag) >= len(idx.tagPre) {
+		return
+	}
+	lo := idx.pre[x]
+	hi := lo + idx.size[x]
+	ranks := idx.tagPre[tag]
+	from := sort.Search(len(ranks), func(i int) bool { return ranks[i] >= lo })
+	to := sort.Search(len(ranks), func(i int) bool { return ranks[i] >= hi })
+	if from >= to {
+		return
+	}
+	nodes := make([]int32, 0, to-from)
+	for _, p := range ranks[from:to] {
+		nodes = append(nodes, idx.byPre[p])
+	}
+	idx.emitInterval(x, nodes, fn)
+}
+
+// EachReaching implements pathindex.Index: the ancestors-or-self of x are
+// its parent chain, already in ascending distance order.
+func (idx *Index) EachReaching(x int32, fn pathindex.Visit) {
+	d := int32(0)
+	for n := x; n != -1; n = idx.parent[n] {
+		if !fn(n, d) {
+			return
+		}
+		d++
+	}
+}
+
+// EachReachingByTag implements pathindex.Index.
+func (idx *Index) EachReachingByTag(x int32, tag lgraph.Tag, fn pathindex.Visit) {
+	d := int32(0)
+	for n := x; n != -1; n = idx.parent[n] {
+		if idx.g.Tag(n) == tag {
+			if !fn(n, d) {
+				return
+			}
+		}
+		d++
+	}
+}
+
+// EachChild enumerates the children of x in preorder (all at distance 1).
+func (idx *Index) EachChild(x int32, fn pathindex.Visit) {
+	lo := idx.pre[x] + 1
+	hi := idx.pre[x] + idx.size[x]
+	for p := lo; p < hi; {
+		ch := idx.byPre[p]
+		if !fn(ch, 1) {
+			return
+		}
+		p += idx.size[ch]
+	}
+}
+
+// root returns the root of x's tree.
+func (idx *Index) root(x int32) int32 {
+	for idx.parent[x] != -1 {
+		x = idx.parent[x]
+	}
+	return x
+}
+
+// EachFollowing enumerates the nodes after x in document order that are not
+// descendants of x (the XPath following axis), restricted to x's own tree;
+// distances are not defined for this axis and are reported as -1.
+func (idx *Index) EachFollowing(x int32, fn pathindex.Visit) {
+	r := idx.root(x)
+	end := idx.pre[r] + idx.size[r]
+	for p := idx.pre[x] + idx.size[x]; p < end; p++ {
+		if !fn(idx.byPre[p], -1) {
+			return
+		}
+	}
+}
+
+// EachPreceding enumerates the nodes before x in document order that are not
+// ancestors of x (the XPath preceding axis), restricted to x's own tree.
+func (idx *Index) EachPreceding(x int32, fn pathindex.Visit) {
+	for p := idx.pre[idx.root(x)]; p < idx.pre[x]; p++ {
+		n := idx.byPre[p]
+		if idx.Reachable(n, x) {
+			continue // ancestor, not preceding
+		}
+		if !fn(n, -1) {
+			return
+		}
+	}
+}
+
+// WriteTo serializes the index: pre, post, depth and parent per node, plus
+// the per-tag preorder lists.  ReadBody restores it.
+func (idx *Index) WriteTo(w io.Writer) (int64, error) {
+	sw := storage.NewWriter(w)
+	sw.Header("ppo")
+	sw.Uvarint(uint64(len(idx.pre)))
+	sw.Int32Slice(idx.pre)
+	sw.Int32Slice(idx.post)
+	sw.Int32Slice(idx.depth)
+	sw.Int32Slice(idx.parent)
+	sw.Uvarint(uint64(len(idx.tagPre)))
+	for _, ranks := range idx.tagPre {
+		sw.Int32Slice(ranks)
+	}
+	return sw.Flush()
+}
+
+// ReadBody deserializes an index written by WriteTo whose header has
+// already been consumed.  g must be the graph the index was built over.
+func ReadBody(g *lgraph.LGraph, r *storage.Reader) (pathindex.Index, error) {
+	n := int(r.Uvarint())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n != g.NumNodes() {
+		return nil, fmt.Errorf("ppo: stream has %d nodes, graph %d", n, g.NumNodes())
+	}
+	idx := &Index{
+		g:      g,
+		pre:    r.Int32Slice(),
+		post:   r.Int32Slice(),
+		depth:  r.Int32Slice(),
+		parent: r.Int32Slice(),
+	}
+	nTags := int(r.Uvarint())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if nTags != g.NumTags() {
+		return nil, fmt.Errorf("ppo: stream has %d tags, graph %d", nTags, g.NumTags())
+	}
+	idx.tagPre = make([][]int32, nTags)
+	for t := range idx.tagPre {
+		idx.tagPre[t] = r.Int32Slice()
+	}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if len(idx.pre) != n || len(idx.post) != n || len(idx.depth) != n || len(idx.parent) != n {
+		return nil, fmt.Errorf("ppo: truncated arrays")
+	}
+	// Rebuild the derived structures: the preorder permutation and the
+	// subtree sizes (children have larger preorder ranks than their
+	// parent, so a descending-rank sweep accumulates sizes bottom-up).
+	idx.byPre = make([]int32, n)
+	for v := 0; v < n; v++ {
+		p := idx.pre[v]
+		if p < 0 || int(p) >= n {
+			return nil, fmt.Errorf("ppo: preorder rank %d out of range", p)
+		}
+		idx.byPre[p] = int32(v)
+	}
+	idx.size = make([]int32, n)
+	for i := range idx.size {
+		idx.size[i] = 1
+	}
+	for rank := n - 1; rank >= 0; rank-- {
+		v := idx.byPre[rank]
+		if p := idx.parent[v]; p != -1 {
+			if p < 0 || int(p) >= n {
+				return nil, fmt.Errorf("ppo: parent %d out of range", p)
+			}
+			idx.size[p] += idx.size[v]
+		}
+	}
+	return idx, nil
+}

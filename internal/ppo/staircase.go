@@ -1,0 +1,125 @@
+package ppo
+
+import (
+	"sort"
+
+	"repro/internal/pathindex"
+)
+
+// This file implements the staircase join (Grust & van Keulen, "Tree
+// awareness for relational DBMS kernels", reference [11] of the FliX
+// paper): evaluating an XPath axis step for a whole *sequence* of context
+// nodes in one pass over the document, exploiting the pre/post plane.
+//
+// The key ideas carried over here:
+//
+//   - pruning: a context node whose subtree lies inside another context
+//     node's subtree contributes no new descendants and is dropped;
+//   - one sequential scan: after pruning, the remaining context intervals
+//     are disjoint, so their results are produced by one ordered sweep of
+//     the preorder axis with no duplicate elimination.
+
+// StaircaseDescendants emits the distinct descendants (excluding the
+// contexts themselves) of all context nodes in document (preorder) order.
+// Each node is emitted once even when several contexts reach it.  The
+// reported distance is the depth below the *innermost* context containing
+// the node.
+func (idx *Index) StaircaseDescendants(contexts []int32, fn pathindex.Visit) {
+	for _, iv := range idx.pruneContexts(contexts) {
+		lo := idx.pre[iv] + 1
+		hi := idx.pre[iv] + idx.size[iv]
+		base := idx.depth[iv]
+		for p := lo; p < hi; p++ {
+			n := idx.byPre[p]
+			if !fn(n, idx.depth[n]-base) {
+				return
+			}
+		}
+	}
+}
+
+// StaircaseDescendantsByTag is StaircaseDescendants restricted to one tag,
+// using the per-tag preorder lists instead of the full sweep.
+func (idx *Index) StaircaseDescendantsByTag(contexts []int32, tag int32, fn pathindex.Visit) {
+	if tag < 0 || int(tag) >= len(idx.tagPre) {
+		return
+	}
+	ranks := idx.tagPre[tag]
+	for _, iv := range idx.pruneContexts(contexts) {
+		lo := idx.pre[iv] + 1
+		hi := idx.pre[iv] + idx.size[iv]
+		base := idx.depth[iv]
+		from := sort.Search(len(ranks), func(i int) bool { return ranks[i] >= lo })
+		for i := from; i < len(ranks) && ranks[i] < hi; i++ {
+			n := idx.byPre[ranks[i]]
+			if !fn(n, idx.depth[n]-base) {
+				return
+			}
+		}
+	}
+}
+
+// StaircaseAncestors emits the distinct ancestors (excluding the contexts
+// themselves) of all context nodes, in document order.  Following the
+// staircase-join idea for the ancestor axis, parent chains are walked from
+// each context but stop as soon as they hit a node already covered by a
+// previous context's chain — every node is visited at most twice.
+// Distances are not well-defined for merged chains and are reported as the
+// depth difference to the *nearest* context below the ancestor.
+func (idx *Index) StaircaseAncestors(contexts []int32, fn pathindex.Visit) {
+	type anc struct {
+		node int32
+		dist int32
+	}
+	seen := make(map[int32]int32, len(contexts)*4) // node -> min dist
+	var order []anc
+	for _, c := range contexts {
+		d := int32(0)
+		for n := idx.parent[c]; n != -1; n = idx.parent[n] {
+			d++
+			if old, ok := seen[n]; ok {
+				if d < old {
+					seen[n] = d
+				}
+				break // the rest of the chain is already covered
+			}
+			seen[n] = d
+			order = append(order, anc{node: n})
+		}
+	}
+	for i := range order {
+		order[i].dist = seen[order[i].node]
+	}
+	sort.Slice(order, func(i, j int) bool { return idx.pre[order[i].node] < idx.pre[order[j].node] })
+	for _, a := range order {
+		if !fn(a.node, a.dist) {
+			return
+		}
+	}
+}
+
+// pruneContexts drops contexts covered by another context and returns the
+// survivors in ascending preorder — the "staircase" of disjoint intervals.
+func (idx *Index) pruneContexts(contexts []int32) []int32 {
+	if len(contexts) == 0 {
+		return nil
+	}
+	sorted := make([]int32, len(contexts))
+	copy(sorted, contexts)
+	sort.Slice(sorted, func(i, j int) bool { return idx.pre[sorted[i]] < idx.pre[sorted[j]] })
+	out := sorted[:0]
+	var lastEnd int32 = -1 // exclusive preorder end of the last kept subtree
+	var lastPre int32 = -1
+	for _, c := range sorted {
+		if idx.pre[c] == lastPre {
+			continue // duplicate context
+		}
+		if idx.pre[c] < lastEnd {
+			continue // inside the previous context's subtree
+		}
+		out = append(out, c)
+		lastEnd = idx.pre[c] + idx.size[c]
+		lastPre = idx.pre[c]
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package ppo
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestStaircaseDescendants(t *testing.T) {
+	_, idx := buildTree(t)
+	// Contexts 0 and 1: 1's subtree is inside 0's, so 1 is pruned; the
+	// result is exactly 0's descendants in document order, once each.
+	var nodes []int32
+	idx.StaircaseDescendants([]int32{0, 1}, func(n, d int32) bool {
+		nodes = append(nodes, n)
+		return true
+	})
+	if !reflect.DeepEqual(nodes, []int32{1, 3, 4, 2}) {
+		t.Errorf("staircase(0,1) = %v, want [1 3 4 2]", nodes)
+	}
+	// Disjoint contexts across both trees.
+	nodes = nil
+	idx.StaircaseDescendants([]int32{1, 5}, func(n, d int32) bool {
+		nodes = append(nodes, n)
+		return true
+	})
+	if !reflect.DeepEqual(nodes, []int32{3, 4, 6}) {
+		t.Errorf("staircase(1,5) = %v, want [3 4 6]", nodes)
+	}
+	// Duplicate contexts collapse.
+	nodes = nil
+	idx.StaircaseDescendants([]int32{1, 1}, func(n, d int32) bool {
+		nodes = append(nodes, n)
+		return true
+	})
+	if !reflect.DeepEqual(nodes, []int32{3, 4}) {
+		t.Errorf("staircase(1,1) = %v", nodes)
+	}
+	// Empty contexts.
+	idx.StaircaseDescendants(nil, func(n, d int32) bool {
+		t.Error("empty contexts produced a result")
+		return false
+	})
+}
+
+func TestStaircaseDescendantsByTag(t *testing.T) {
+	g, idx := buildTree(t)
+	var nodes []int32
+	idx.StaircaseDescendantsByTag([]int32{0, 5}, int32(g.TagOf("b")), func(n, d int32) bool {
+		nodes = append(nodes, n)
+		return true
+	})
+	if !reflect.DeepEqual(nodes, []int32{1, 4, 6}) {
+		t.Errorf("staircase by tag = %v, want [1 4 6]", nodes)
+	}
+}
+
+func TestStaircaseAncestors(t *testing.T) {
+	_, idx := buildTree(t)
+	var nodes, dists []int32
+	idx.StaircaseAncestors([]int32{3, 4}, func(n, d int32) bool {
+		nodes = append(nodes, n)
+		dists = append(dists, d)
+		return true
+	})
+	// Ancestors of {3,4}: 0 and 1, in document order, each once.
+	if !reflect.DeepEqual(nodes, []int32{0, 1}) || !reflect.DeepEqual(dists, []int32{2, 1}) {
+		t.Errorf("staircase ancestors = %v %v", nodes, dists)
+	}
+}
+
+func TestStaircaseEarlyStop(t *testing.T) {
+	_, idx := buildTree(t)
+	count := 0
+	idx.StaircaseDescendants([]int32{0}, func(n, d int32) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+// TestPropertyStaircaseMatchesUnion: the staircase result set must equal
+// the union of per-context descendant sets, without duplicates, in
+// document order.
+func TestPropertyStaircaseMatchesUnion(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30}
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomForest(rng, 2+rng.Intn(50))
+		idx, err := Build(g)
+		if err != nil {
+			return false
+		}
+		k := 1 + rng.Intn(5)
+		contexts := make([]int32, k)
+		for i := range contexts {
+			contexts[i] = int32(rng.Intn(g.NumNodes()))
+		}
+		want := make(map[int32]bool)
+		for _, c := range contexts {
+			idx.EachReachable(c, func(n, d int32) bool {
+				if n != c {
+					want[n] = true
+				}
+				return true
+			})
+		}
+		// A context that is a descendant of another context appears in
+		// the union.
+		for _, c := range contexts {
+			for _, c2 := range contexts {
+				if c != c2 && idx.Reachable(c2, c) {
+					want[c] = true
+				}
+			}
+		}
+		var got []int32
+		lastPre := int32(-1)
+		ordered := true
+		idx.StaircaseDescendants(contexts, func(n, d int32) bool {
+			if idx.Pre(n) <= lastPre {
+				ordered = false
+			}
+			lastPre = idx.Pre(n)
+			got = append(got, n)
+			return true
+		})
+		if !ordered || len(got) != len(want) {
+			return false
+		}
+		for _, n := range got {
+			if !want[n] {
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}

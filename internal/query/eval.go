@@ -1,0 +1,239 @@
+package query
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/flix"
+	"repro/internal/ontology"
+	"repro/internal/xmlgraph"
+)
+
+// Match is one ranked query result.
+type Match struct {
+	Node xmlgraph.NodeID
+	// Score is the XXL-style relevance in (0, 1]: the product of the tag
+	// similarity of every matched step and a decay factor per extra path
+	// edge.
+	Score float64
+	// PathLen is the total number of edges along the matched path.
+	PathLen int32
+}
+
+// Evaluator runs parsed queries against a FliX index with optional
+// ontology-based tag expansion.
+type Evaluator struct {
+	Index *flix.Index
+	// Ontology expands ~tag steps; nil disables semantic vagueness.
+	Ontology *ontology.Ontology
+	// Decay scales relevance per path edge beyond the first on //-steps:
+	// a result at distance d contributes Decay^(d-1).  Defaults to 0.8,
+	// matching the paper's movie/cast/actor ≈ 0.8 example.
+	Decay float64
+	// MinTagScore prunes ontology expansions below this similarity.
+	// Defaults to 0.5.
+	MinTagScore float64
+	// MinScore drops results whose accumulated relevance falls below it.
+	// Defaults to 0.01, bounding //-step expansion depth.
+	MinScore float64
+	// MaxResults truncates the ranked result list (0 = all).
+	MaxResults int
+	// InverseScore enables the inverted-direction vagueness of §1.1
+	// ("one could also consider inverting the direction, i.e., consider
+	// also actor/acts_in/movie relevant, with a lower similarity"): each
+	// //-step additionally matches *ancestors*, scaled by this factor in
+	// (0, 1).  0 disables inverse matching.
+	InverseScore float64
+}
+
+func (e *Evaluator) decay() float64 {
+	if e.Decay <= 0 || e.Decay >= 1 {
+		return 0.8
+	}
+	return e.Decay
+}
+
+func (e *Evaluator) minTagScore() float64 {
+	if e.MinTagScore <= 0 {
+		return 0.5
+	}
+	return e.MinTagScore
+}
+
+func (e *Evaluator) minScore() float64 {
+	if e.MinScore <= 0 {
+		return 0.01
+	}
+	return e.MinScore
+}
+
+// maxDistFor bounds a //-step's search depth: beyond it the decay pushes
+// every result below MinScore anyway.
+func (e *Evaluator) maxDistFor(score float64) int32 {
+	d := math.Log(e.minScore()/score)/math.Log(e.decay()) + 1
+	if d < 1 {
+		return 1
+	}
+	if d > 1<<20 {
+		return 0 // effectively unlimited
+	}
+	return int32(d)
+}
+
+// expansions returns the tags a step matches with their similarity scores.
+func (e *Evaluator) expansions(s Step) []ontology.WeightedTag {
+	if s.Tag == "" {
+		return []ontology.WeightedTag{{Tag: "", Score: 1}}
+	}
+	if !s.Similar || e.Ontology == nil {
+		return []ontology.WeightedTag{{Tag: s.Tag, Score: 1}}
+	}
+	return e.Ontology.Similar(s.Tag, e.minTagScore())
+}
+
+// matchesPred checks a step's content predicate against an element.
+func (e *Evaluator) matchesPred(s Step, n xmlgraph.NodeID) bool {
+	switch s.Op {
+	case PredNone:
+		return true
+	case PredEq:
+		return e.Index.Collection().Node(n).Text == s.Value
+	case PredContains:
+		return strings.Contains(
+			strings.ToLower(e.Index.Collection().Node(n).Text),
+			strings.ToLower(s.Value))
+	default:
+		return false
+	}
+}
+
+// Evaluate runs the query and returns results ranked by descending
+// relevance (ties: shorter path, then node ID).
+func (e *Evaluator) Evaluate(q *Query) []Match {
+	frontier := e.anchor(q.Steps[0])
+	for _, s := range q.Steps[1:] {
+		frontier = e.advance(frontier, s)
+		if len(frontier) == 0 {
+			return nil
+		}
+	}
+	out := make([]Match, 0, len(frontier))
+	for _, m := range frontier {
+		out = append(out, m)
+	}
+	sortMatches(out)
+	if e.MaxResults > 0 && len(out) > e.MaxResults {
+		out = out[:e.MaxResults]
+	}
+	return out
+}
+
+// sortMatches ranks by descending score, ties by shorter path then node ID.
+func sortMatches(out []Match) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].PathLen != out[j].PathLen {
+			return out[i].PathLen < out[j].PathLen
+		}
+		return out[i].Node < out[j].Node
+	})
+}
+
+// anchor produces the initial frontier for the first step.
+func (e *Evaluator) anchor(s Step) map[xmlgraph.NodeID]Match {
+	coll := e.Index.Collection()
+	frontier := make(map[xmlgraph.NodeID]Match)
+	add := func(n xmlgraph.NodeID, score float64) {
+		if !e.matchesPred(s, n) {
+			return
+		}
+		if old, ok := frontier[n]; !ok || score > old.Score {
+			frontier[n] = Match{Node: n, Score: score}
+		}
+	}
+	for _, wt := range e.expansions(s) {
+		switch {
+		case s.Axis == Child && wt.Tag == "":
+			// /*: all document roots.
+			for d := 0; d < coll.NumDocs(); d++ {
+				add(coll.Doc(xmlgraph.DocID(d)).Root, wt.Score)
+			}
+		case s.Axis == Child:
+			// /tag: document roots with the tag.
+			for d := 0; d < coll.NumDocs(); d++ {
+				r := coll.Doc(xmlgraph.DocID(d)).Root
+				if coll.Tag(r) == wt.Tag {
+					add(r, wt.Score)
+				}
+			}
+		case wt.Tag == "":
+			// //*: every element.
+			for n := 0; n < coll.NumNodes(); n++ {
+				add(xmlgraph.NodeID(n), wt.Score)
+			}
+		default:
+			for _, n := range coll.NodesByTag(wt.Tag) {
+				add(n, wt.Score)
+			}
+		}
+	}
+	return frontier
+}
+
+// advance moves the frontier across one step.
+func (e *Evaluator) advance(frontier map[xmlgraph.NodeID]Match, s Step) map[xmlgraph.NodeID]Match {
+	coll := e.Index.Collection()
+	next := make(map[xmlgraph.NodeID]Match)
+	add := func(n xmlgraph.NodeID, score float64, pathLen int32) {
+		if score < e.minScore() || !e.matchesPred(s, n) {
+			return
+		}
+		if old, ok := next[n]; !ok || score > old.Score {
+			next[n] = Match{Node: n, Score: score, PathLen: pathLen}
+		}
+	}
+	for _, wt := range e.expansions(s) {
+		for _, m := range frontier {
+			base := m.Score * wt.Score
+			if base < e.minScore() {
+				continue
+			}
+			if s.Axis == Child {
+				coll.EachSuccessor(m.Node, func(c xmlgraph.NodeID) {
+					if wt.Tag == "" || coll.Tag(c) == wt.Tag {
+						add(c, base, m.PathLen+1)
+					}
+				})
+				continue
+			}
+			opts := flix.Options{MaxDist: e.maxDistFor(base)}
+			e.Index.Descendants(m.Node, wt.Tag, opts, func(r flix.Result) bool {
+				score := base
+				if r.Dist > 1 {
+					score *= math.Pow(e.decay(), float64(r.Dist-1))
+				}
+				add(r.Node, score, m.PathLen+r.Dist)
+				return true
+			})
+			if e.InverseScore > 0 && e.InverseScore < 1 {
+				invBase := base * e.InverseScore
+				if invBase < e.minScore() {
+					continue
+				}
+				invOpts := flix.Options{MaxDist: e.maxDistFor(invBase)}
+				e.Index.Ancestors(m.Node, wt.Tag, invOpts, func(r flix.Result) bool {
+					score := invBase
+					if r.Dist > 1 {
+						score *= math.Pow(e.decay(), float64(r.Dist-1))
+					}
+					add(r.Node, score, m.PathLen+r.Dist)
+					return true
+				})
+			}
+		}
+	}
+	return next
+}

@@ -1,0 +1,47 @@
+package query
+
+import "testing"
+
+// FuzzParse checks that the parser never panics and that every accepted
+// expression round-trips through String.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"//movie//actor",
+		"/dblp/article/author",
+		`//~movie[text~"Matrix"]//actor`,
+		"//a//*",
+		"a/b",
+		"//",
+		"~",
+		`//x[text="a\"b"]`,
+		"//x[", "//x[text", "//x[text=", `//x[text="`, `//x[text="v"`,
+		"////", "/*/*", "//~*",
+		"0[text~\"\xd1\"]", // regression: invalid UTF-8 in a predicate value must round-trip
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		q, err := Parse(expr)
+		if err != nil {
+			return
+		}
+		if len(q.Steps) == 0 {
+			t.Fatalf("Parse(%q) accepted an empty query", expr)
+		}
+		// Accepted queries render and re-parse to the same structure.
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q) failed: %v", rendered, expr, err)
+		}
+		if len(q.Steps) != len(q2.Steps) {
+			t.Fatalf("round trip changed step count: %q -> %q", expr, rendered)
+		}
+		for i := range q.Steps {
+			a, b := q.Steps[i], q2.Steps[i]
+			if a.Axis != b.Axis || a.Tag != b.Tag || a.Similar != b.Similar || a.Op != b.Op || a.Value != b.Value {
+				t.Fatalf("round trip changed step %d: %+v vs %+v", i, a, b)
+			}
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseBasic(t *testing.T) {
+	q, err := Parse("//movie//actor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Step{
+		{Axis: Descendant, Tag: "movie"},
+		{Axis: Descendant, Tag: "actor"},
+	}
+	if !reflect.DeepEqual(q.Steps, want) {
+		t.Errorf("Steps = %+v", q.Steps)
+	}
+}
+
+func TestParseChildAxis(t *testing.T) {
+	q, err := Parse("/dblp/article/author")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Steps) != 3 {
+		t.Fatalf("steps = %d", len(q.Steps))
+	}
+	for i, s := range q.Steps {
+		if s.Axis != Child {
+			t.Errorf("step %d axis = %v", i, s.Axis)
+		}
+	}
+}
+
+func TestParseBareLeadingName(t *testing.T) {
+	q, err := Parse("movie//actor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Steps[0].Axis != Descendant || q.Steps[0].Tag != "movie" {
+		t.Errorf("leading step = %+v", q.Steps[0])
+	}
+}
+
+func TestParseSimilarAndWildcard(t *testing.T) {
+	q, err := Parse("//~movie//*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Steps[0].Similar || q.Steps[0].Tag != "movie" {
+		t.Errorf("step 0 = %+v", q.Steps[0])
+	}
+	if q.Steps[1].Tag != "" || q.Steps[1].Similar {
+		t.Errorf("step 1 = %+v", q.Steps[1])
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	q, err := Parse(`//movie[text="Matrix"]//actor[text~"reeves"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Steps[0].Op != PredEq || q.Steps[0].Value != "Matrix" {
+		t.Errorf("step 0 pred = %+v", q.Steps[0])
+	}
+	if q.Steps[1].Op != PredContains || q.Steps[1].Value != "reeves" {
+		t.Errorf("step 1 pred = %+v", q.Steps[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"//",
+		"//movie//",
+		"//~*",
+		"//movie[foo=\"x\"]",
+		"//movie[text=\"x\"",
+		"//movie[text=\"x]",
+		"//movie[text?\"x\"]",
+		"movie actor",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"//movie//actor",
+		"/dblp/article",
+		`//~movie[text~"Matrix"]//actor`,
+		"//a//*",
+	} {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", q.String(), err)
+		}
+		if !reflect.DeepEqual(q.Steps, q2.Steps) {
+			t.Errorf("%q round trip: %q", src, q.String())
+		}
+	}
+}
+
+func TestRelax(t *testing.T) {
+	q, err := Parse("/movie/actor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := q.Relax()
+	for i, s := range r.Steps {
+		if s.Axis != Descendant {
+			t.Errorf("relaxed step %d = %v", i, s.Axis)
+		}
+	}
+	// Original untouched.
+	if q.Steps[0].Axis != Child {
+		t.Error("Relax mutated the original")
+	}
+	if r.String() != "//movie//actor" {
+		t.Errorf("relaxed = %q", r.String())
+	}
+}

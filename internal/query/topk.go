@@ -1,0 +1,242 @@
+package query
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"repro/internal/flix"
+	"repro/internal/xmlgraph"
+)
+
+// EvaluateTopK evaluates the query and returns the k best results, stopping
+// the underlying index scans early in the style of Fagin's threshold
+// algorithm with sorted access only (§3.1 of the FliX paper: the search
+// engine "may even stop the execution when it can determine that it has
+// produced the top k results, e.g., using an algorithm similar to Fagin's
+// threshold algorithm with only sequential reads").
+//
+// For every step but the last, evaluation proceeds as in Evaluate.  The
+// last step then opens one result stream per (frontier element, tag
+// expansion) pair.  Each stream delivers candidates in descending score —
+// FliX streams descendants in ascending distance, and the relevance decay
+// is monotone in distance — so the maximum score any stream can still
+// produce is the score of its next candidate.  Streams are consumed
+// best-first; as soon as the k-th best collected score is at least the best
+// possible remaining score, no stream can improve the answer and the scan
+// stops.
+func (e *Evaluator) EvaluateTopK(q *Query, k int) []Match {
+	if k <= 0 {
+		return nil
+	}
+	if len(q.Steps) == 1 {
+		out := e.Evaluate(q)
+		if len(out) > k {
+			out = out[:k]
+		}
+		return out
+	}
+	frontier := e.anchor(q.Steps[0])
+	for _, s := range q.Steps[1 : len(q.Steps)-1] {
+		frontier = e.advance(frontier, s)
+		if len(frontier) == 0 {
+			return nil
+		}
+	}
+	last := q.Steps[len(q.Steps)-1]
+	if last.Axis == Child {
+		// The child axis has no distance decay to exploit; fall back to
+		// full evaluation of the final step.
+		final := e.advance(frontier, last)
+		return topOf(final, k)
+	}
+
+	// One lazily pulled stream per (frontier element, expansion).
+	var streams []*resultStream
+	for _, wt := range e.expansions(last) {
+		for _, m := range frontier {
+			base := m.Score * wt.Score
+			if base < e.minScore() {
+				continue
+			}
+			streams = append(streams, e.newStream(m, wt.Tag, base))
+		}
+	}
+	// Seed the heap with per-stream upper bounds (the base score is the
+	// score of a hypothetical distance-1 result); a stream is only
+	// materialized when it reaches the heap top, so streams the threshold
+	// prunes are never evaluated at all.
+	h := make(streamHeap, 0, len(streams))
+	for _, s := range streams {
+		s.curScore = s.base
+		h = append(h, s)
+	}
+	heap.Init(&h)
+
+	best := make(map[xmlgraph.NodeID]Match)
+	collected := &matchHeap{} // min-heap of the current top k scores
+	for h.Len() > 0 {
+		// Threshold test: the head's current score is an upper bound on
+		// anything any remaining stream can still produce.
+		if collected.Len() >= k && (*collected)[0].Score >= h[0].curScore {
+			break
+		}
+		s := h[0]
+		if !s.fetched {
+			// Materialize lazily; the first real candidate usually
+			// scores below the upper bound, so re-establish heap order
+			// before consuming anything.
+			if s.next() {
+				heap.Fix(&h, 0)
+			} else {
+				heap.Pop(&h)
+			}
+			continue
+		}
+		cand := Match{Node: s.curNode, Score: s.curScore, PathLen: s.curPathLen}
+		if s.next() {
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+		if !e.matchesPred(last, cand.Node) {
+			continue
+		}
+		if old, ok := best[cand.Node]; ok && old.Score >= cand.Score {
+			continue
+		}
+		best[cand.Node] = cand
+		// Maintain the top-k score heap over distinct nodes.
+		collected.rebuild(best, k)
+	}
+	out := make([]Match, 0, len(best))
+	for _, m := range best {
+		out = append(out, m)
+	}
+	return topOf2(out, k)
+}
+
+// resultStream pulls one (frontier element, tag) descendant stream in
+// batches, exposing candidates in descending score order.
+type resultStream struct {
+	e       *Evaluator
+	from    Match
+	tag     string
+	base    float64
+	maxDist int32
+
+	buf []flix.Result
+	pos int
+
+	curNode    xmlgraph.NodeID
+	curScore   float64
+	curPathLen int32
+	fetched    bool
+}
+
+func (e *Evaluator) newStream(from Match, tag string, base float64) *resultStream {
+	return &resultStream{
+		e:       e,
+		from:    from,
+		tag:     tag,
+		base:    base,
+		maxDist: e.maxDistFor(base),
+	}
+}
+
+// next advances to the next candidate; false when exhausted.  The whole
+// stream is materialized on first use — FliX's evaluation is
+// callback-driven, so the "sorted access" is over the buffered, already
+// approximately distance-ordered results.  Buffering one stream at a time
+// keeps peak memory at one result set, and unneeded streams (pruned by the
+// threshold) are never fetched at all.
+func (s *resultStream) next() bool {
+	if !s.fetched {
+		s.fetched = true
+		s.e.Index.Descendants(s.from.Node, s.tag, flix.Options{MaxDist: s.maxDist},
+			func(r flix.Result) bool {
+				s.buf = append(s.buf, r)
+				return true
+			})
+		// FliX streams only approximately distance-ordered across meta
+		// documents; the threshold test needs strict per-stream score
+		// monotonicity, so sort the batch by ascending distance.
+		sort.Slice(s.buf, func(i, j int) bool {
+			if s.buf[i].Dist != s.buf[j].Dist {
+				return s.buf[i].Dist < s.buf[j].Dist
+			}
+			return s.buf[i].Node < s.buf[j].Node
+		})
+	}
+	if s.pos >= len(s.buf) {
+		return false
+	}
+	r := s.buf[s.pos]
+	s.pos++
+	s.curNode = r.Node
+	s.curScore = s.base
+	if r.Dist > 1 {
+		s.curScore *= math.Pow(s.e.decay(), float64(r.Dist-1))
+	}
+	s.curPathLen = s.from.PathLen + r.Dist
+	return true
+}
+
+// streamHeap is a max-heap over current candidate scores.
+type streamHeap []*resultStream
+
+func (h streamHeap) Len() int           { return len(h) }
+func (h streamHeap) Less(i, j int) bool { return h[i].curScore > h[j].curScore }
+func (h streamHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *streamHeap) Push(x any)        { *h = append(*h, x.(*resultStream)) }
+func (h *streamHeap) Pop() any {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	*h = old[:n-1]
+	return s
+}
+
+// matchHeap tracks the k-th best score cheaply.
+type matchHeap []Match
+
+func (h matchHeap) Len() int           { return len(h) }
+func (h matchHeap) Less(i, j int) bool { return h[i].Score < h[j].Score }
+func (h matchHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *matchHeap) Push(x any)        { *h = append(*h, x.(Match)) }
+func (h *matchHeap) Pop() any {
+	old := *h
+	n := len(old)
+	m := old[n-1]
+	*h = old[:n-1]
+	return m
+}
+
+// rebuild refreshes the top-k heap from the distinct-node score map.  The
+// map stays small (bounded by results seen), so a full rebuild keeps the
+// logic simple; callers invoke it once per accepted candidate.
+func (h *matchHeap) rebuild(best map[xmlgraph.NodeID]Match, k int) {
+	*h = (*h)[:0]
+	for _, m := range best {
+		heap.Push(h, m)
+		if h.Len() > k {
+			heap.Pop(h)
+		}
+	}
+}
+
+func topOf(m map[xmlgraph.NodeID]Match, k int) []Match {
+	out := make([]Match, 0, len(m))
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return topOf2(out, k)
+}
+
+func topOf2(out []Match, k int) []Match {
+	sortMatches(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+// Package storage provides the binary serialization substrate for the index
+// structures.
+//
+// The paper stores all indexes in database tables and reports their sizes
+// (Table 1).  This reproduction serializes each index into a compact binary
+// format instead; the reported "index size" is the number of bytes written.
+// The format is a simple tagged stream of varints and strings with a header
+// and no backward-compatibility machinery — it exists to persist and to
+// measure, not to migrate.
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Magic identifies FliX index files.
+const Magic = "FLIX"
+
+// ErrBadMagic is returned when a stream does not start with Magic.
+var ErrBadMagic = errors.New("storage: bad magic")
+
+// Writer encodes varints, strings and slices onto an io.Writer and counts
+// the bytes written.
+type Writer struct {
+	w   *bufio.Writer
+	n   int64
+	err error
+	buf [binary.MaxVarintLen64]byte
+}
+
+// NewWriter returns a Writer on w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Header writes the magic and a format identifier for the index kind.
+func (w *Writer) Header(kind string) {
+	w.Raw([]byte(Magic))
+	w.String(kind)
+}
+
+// Raw writes bytes verbatim.
+func (w *Writer) Raw(b []byte) {
+	if w.err != nil {
+		return
+	}
+	n, err := w.w.Write(b)
+	w.n += int64(n)
+	w.err = err
+}
+
+// Uvarint writes an unsigned varint.
+func (w *Writer) Uvarint(v uint64) {
+	if w.err != nil {
+		return
+	}
+	n := binary.PutUvarint(w.buf[:], v)
+	w.Raw(w.buf[:n])
+}
+
+// Varint writes a signed varint (zig-zag).
+func (w *Writer) Varint(v int64) {
+	if w.err != nil {
+		return
+	}
+	n := binary.PutVarint(w.buf[:], v)
+	w.Raw(w.buf[:n])
+}
+
+// Int32 writes a signed 32-bit value as a varint.
+func (w *Writer) Int32(v int32) { w.Varint(int64(v)) }
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.Raw([]byte(s))
+}
+
+// Float64 writes an IEEE-754 double.
+func (w *Writer) Float64(f float64) {
+	if w.err != nil {
+		return
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+	w.Raw(b[:])
+}
+
+// Int32Slice writes a length-prefixed slice of varint-encoded int32s,
+// delta-encoding runs that are ascending (typical for sorted ID lists).
+func (w *Writer) Int32Slice(s []int32) {
+	w.Uvarint(uint64(len(s)))
+	prev := int32(0)
+	for _, v := range s {
+		w.Varint(int64(v - prev))
+		prev = v
+	}
+}
+
+// Flush flushes buffered output and returns the first error and the byte
+// count.
+func (w *Writer) Flush() (int64, error) {
+	if w.err == nil {
+		w.err = w.w.Flush()
+	}
+	return w.n, w.err
+}
+
+// Err returns the first error encountered.
+func (w *Writer) Err() error { return w.err }
+
+// Reader decodes streams produced by Writer.
+type Reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+// NewReader returns a Reader on r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Header checks the magic and the expected kind.
+func (r *Reader) Header(kind string) error {
+	got, err := r.ReadHeader()
+	if err != nil {
+		return err
+	}
+	if got != kind {
+		return fmt.Errorf("storage: index kind %q, want %q", got, kind)
+	}
+	return nil
+}
+
+// ReadHeader checks the magic and returns the stream's kind, for callers
+// that dispatch on it.
+func (r *Reader) ReadHeader() (string, error) {
+	var magic [len(Magic)]byte
+	if _, err := io.ReadFull(r.r, magic[:]); err != nil {
+		return "", fmt.Errorf("storage: reading magic: %w", err)
+	}
+	if string(magic[:]) != Magic {
+		return "", ErrBadMagic
+	}
+	got := r.String()
+	if r.err != nil {
+		return "", r.err
+	}
+	return got, nil
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(r.r)
+	r.err = err
+	return v
+}
+
+// Varint reads a signed varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(r.r)
+	r.err = err
+	return v
+}
+
+// Int32 reads a signed 32-bit varint.
+func (r *Reader) Int32() int32 { return int32(r.Varint()) }
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > 1<<26 {
+		r.err = fmt.Errorf("storage: unreasonable string length %d", n)
+		return ""
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		r.err = err
+		return ""
+	}
+	return string(b)
+}
+
+// Float64 reads an IEEE-754 double.
+func (r *Reader) Float64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	var b [8]byte
+	if _, err := io.ReadFull(r.r, b[:]); err != nil {
+		r.err = err
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+}
+
+// Int32Slice reads a slice written by Writer.Int32Slice.
+func (r *Reader) Int32Slice() []int32 {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > 1<<28 {
+		r.err = fmt.Errorf("storage: unreasonable slice length %d", n)
+		return nil
+	}
+	s := make([]int32, n)
+	prev := int32(0)
+	for i := range s {
+		prev += int32(r.Varint())
+		s[i] = prev
+	}
+	return s
+}
+
+// Err returns the first error encountered.
+func (r *Reader) Err() error { return r.err }
+
+// SizeOf measures the serialized size of anything implementing io.WriterTo
+// by writing it to a discarding counter.
+func SizeOf(wt io.WriterTo) (int64, error) {
+	return wt.WriteTo(io.Discard)
+}

@@ -1,0 +1,153 @@
+package storage
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Header("test")
+	w.Uvarint(42)
+	w.Varint(-7)
+	w.Int32(123456)
+	w.String("hello")
+	w.Float64(3.25)
+	w.Int32Slice([]int32{1, 5, 5, 100, -3})
+	n, err := w.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("count %d != len %d", n, buf.Len())
+	}
+
+	r := NewReader(&buf)
+	if err := r.Header("test"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Uvarint(); got != 42 {
+		t.Errorf("Uvarint = %d", got)
+	}
+	if got := r.Varint(); got != -7 {
+		t.Errorf("Varint = %d", got)
+	}
+	if got := r.Int32(); got != 123456 {
+		t.Errorf("Int32 = %d", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.Float64(); got != 3.25 {
+		t.Errorf("Float64 = %g", got)
+	}
+	if got := r.Int32Slice(); !reflect.DeepEqual(got, []int32{1, 5, 5, 100, -3}) {
+		t.Errorf("Int32Slice = %v", got)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("NOPExxxx")))
+	if err := r.Header("test"); err != ErrBadMagic {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestWrongKind(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Header("ppo")
+	if _, err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	if err := r.Header("hopi"); err == nil {
+		t.Error("wrong kind accepted")
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Header("t")
+	w.String("abcdef")
+	if _, err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	r := NewReader(bytes.NewReader(trunc))
+	if err := r.Header("t"); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.String()
+	if r.Err() == nil {
+		t.Error("truncated string not detected")
+	}
+}
+
+func TestPropertyVarintRoundTrip(t *testing.T) {
+	err := quick.Check(func(v int64, u uint64, f float64, s string, sl []int32) bool {
+		if math.IsNaN(f) {
+			f = 0
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		w.Varint(v)
+		w.Uvarint(u)
+		w.Float64(f)
+		w.String(s)
+		w.Int32Slice(sl)
+		if _, err := w.Flush(); err != nil {
+			return false
+		}
+		r := NewReader(&buf)
+		if r.Varint() != v || r.Uvarint() != u || r.Float64() != f || r.String() != s {
+			return false
+		}
+		got := r.Int32Slice()
+		if len(got) != len(sl) {
+			return false
+		}
+		for i := range got {
+			if got[i] != sl[i] {
+				return false
+			}
+		}
+		return r.Err() == nil
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizeOf(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Header("x")
+	w.Int32Slice(make([]int32, 100))
+	if _, err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := SizeOf(bytesWriterTo(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != int64(buf.Len()) {
+		t.Errorf("SizeOf = %d, want %d", got, buf.Len())
+	}
+}
+
+type bytesWriterTo []byte
+
+func (b bytesWriterTo) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(b)
+	return int64(n), err
+}

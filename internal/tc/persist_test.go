@@ -1,0 +1,104 @@
+package tc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lgraph"
+	"repro/internal/storage"
+)
+
+func TestReadBodyRoundTrip(t *testing.T) {
+	g, idx := buildDiamond(t)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r := storage.NewReader(&buf)
+	if err := r.Header("tc"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBody(g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := got.(*Index)
+	if loaded.Pairs() != idx.Pairs() {
+		t.Fatalf("pairs: %d vs %d", loaded.Pairs(), idx.Pairs())
+	}
+	for x := int32(0); x < int32(g.NumNodes()); x++ {
+		for y := int32(0); y < int32(g.NumNodes()); y++ {
+			d1, ok1 := idx.Distance(x, y)
+			d2, ok2 := loaded.Distance(x, y)
+			if ok1 != ok2 || (ok1 && d1 != d2) {
+				t.Fatalf("Distance(%d,%d) differs", x, y)
+			}
+		}
+	}
+}
+
+func TestReadBodyWrongGraph(t *testing.T) {
+	_, idx := buildDiamond(t)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := lgraph.NewBuilder()
+	b.AddNode("a")
+	small := b.Finish()
+	r := storage.NewReader(&buf)
+	if err := r.Header("tc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBody(small, r); err == nil {
+		t.Error("ReadBody accepted a mismatched graph")
+	}
+}
+
+func TestPropertyPersistRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 15}
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		b := lgraph.NewBuilder()
+		for i := 0; i < n; i++ {
+			b.AddNode("t")
+		}
+		for e := rng.Intn(2 * n); e > 0; e-- {
+			b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g := b.Finish()
+		idx := Build(g)
+		var buf bytes.Buffer
+		if _, err := idx.WriteTo(&buf); err != nil {
+			return false
+		}
+		r := storage.NewReader(&buf)
+		if err := r.Header("tc"); err != nil {
+			return false
+		}
+		got, err := ReadBody(g, r)
+		if err != nil {
+			return false
+		}
+		loaded := got.(*Index)
+		x := int32(rng.Intn(n))
+		var a, c [][2]int32
+		idx.EachReachable(x, func(u, d int32) bool { a = append(a, [2]int32{u, d}); return true })
+		loaded.EachReachable(x, func(u, d int32) bool { c = append(c, [2]int32{u, d}); return true })
+		if len(a) != len(c) {
+			return false
+		}
+		for i := range a {
+			if a[i] != c[i] {
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}

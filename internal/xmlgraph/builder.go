@@ -1,0 +1,136 @@
+package xmlgraph
+
+import "fmt"
+
+// DocumentBuilder constructs one document of a collection.  Elements are
+// added in depth-first (document) order through Enter/Leave pairs, mirroring
+// the event stream of an XML parser.
+//
+//	b := coll.NewDocument("d1")
+//	root := b.Enter("movie", "")
+//	title := b.Enter("title", "Matrix")
+//	b.Leave() // title
+//	b.Leave() // movie
+//	b.Close()
+type DocumentBuilder struct {
+	c     *Collection
+	doc   DocID
+	stack []NodeID
+	done  bool
+}
+
+// NewDocument starts a new document with the given unique name.  Panics if
+// the name is already used or the collection is frozen.
+func (c *Collection) NewDocument(name string) *DocumentBuilder {
+	if c.frozen {
+		panic("xmlgraph: NewDocument on frozen collection")
+	}
+	if _, dup := c.docByName[name]; dup {
+		panic(fmt.Sprintf("xmlgraph: duplicate document name %q", name))
+	}
+	id := DocID(len(c.docs))
+	c.docs = append(c.docs, Document{
+		Name:  name,
+		Root:  InvalidNode,
+		first: NodeID(len(c.nodes)),
+		last:  NodeID(len(c.nodes)),
+	})
+	c.docByName[name] = id
+	return &DocumentBuilder{c: c, doc: id}
+}
+
+// Enter appends a new element below the current element (or as the document
+// root) and makes it current.  It returns the new element's ID.
+func (b *DocumentBuilder) Enter(tag, text string) NodeID {
+	if b.done {
+		panic("xmlgraph: Enter after Close")
+	}
+	id := NodeID(len(b.c.nodes))
+	parent := InvalidNode
+	if len(b.stack) > 0 {
+		parent = b.stack[len(b.stack)-1]
+	} else if b.c.docs[b.doc].Root != InvalidNode {
+		panic("xmlgraph: second root element in document " + b.c.docs[b.doc].Name)
+	}
+	b.c.nodes = append(b.c.nodes, Node{
+		Tag:         tag,
+		Text:        text,
+		Doc:         b.doc,
+		Parent:      parent,
+		firstChild:  InvalidNode,
+		lastChild:   InvalidNode,
+		nextSibling: InvalidNode,
+	})
+	if parent == InvalidNode {
+		b.c.docs[b.doc].Root = id
+	} else {
+		p := &b.c.nodes[parent]
+		if p.firstChild == InvalidNode {
+			p.firstChild = id
+		} else {
+			b.c.nodes[p.lastChild].nextSibling = id
+		}
+		p.lastChild = id
+	}
+	b.stack = append(b.stack, id)
+	b.c.docs[b.doc].last = NodeID(len(b.c.nodes))
+	return id
+}
+
+// SetXMLID records the xml:id attribute of the current element.
+func (b *DocumentBuilder) SetXMLID(id string) {
+	if len(b.stack) == 0 {
+		panic("xmlgraph: SetXMLID outside element")
+	}
+	b.c.nodes[b.stack[len(b.stack)-1]].XMLID = id
+}
+
+// AppendText appends character data to the current element's text.
+func (b *DocumentBuilder) AppendText(s string) {
+	if len(b.stack) == 0 {
+		panic("xmlgraph: AppendText outside element")
+	}
+	b.c.nodes[b.stack[len(b.stack)-1]].Text += s
+}
+
+// Current returns the element currently open, or InvalidNode.
+func (b *DocumentBuilder) Current() NodeID {
+	if len(b.stack) == 0 {
+		return InvalidNode
+	}
+	return b.stack[len(b.stack)-1]
+}
+
+// Leave closes the current element.
+func (b *DocumentBuilder) Leave() {
+	if len(b.stack) == 0 {
+		panic("xmlgraph: Leave without matching Enter")
+	}
+	b.stack = b.stack[:len(b.stack)-1]
+}
+
+// Close finishes the document.  Panics if elements are still open or the
+// document is empty.
+func (b *DocumentBuilder) Close() {
+	if b.done {
+		return
+	}
+	if len(b.stack) != 0 {
+		panic(fmt.Sprintf("xmlgraph: Close with %d open elements", len(b.stack)))
+	}
+	if b.c.docs[b.doc].Root == InvalidNode {
+		panic("xmlgraph: Close on empty document " + b.c.docs[b.doc].Name)
+	}
+	b.done = true
+}
+
+// DocID returns the ID of the document being built.
+func (b *DocumentBuilder) DocID() DocID { return b.doc }
+
+// AddLeaf is a convenience for Enter(tag, text) immediately followed by
+// Leave; it returns the new element's ID.
+func (b *DocumentBuilder) AddLeaf(tag, text string) NodeID {
+	id := b.Enter(tag, text)
+	b.Leave()
+	return id
+}

@@ -1,0 +1,107 @@
+package xmlgraph
+
+import "math/rand"
+
+// RandomCollection builds a pseudo-random linked collection, deterministic in
+// rng: docs documents of 1..maxSize elements each with random branching,
+// plus links random link edges (intra- or inter-document depending on the
+// chosen endpoints).  It is used by the property-based tests of every index
+// package and by benchmarks that need collections of controlled size.
+func RandomCollection(rng *rand.Rand, docs, maxSize, links int) *Collection {
+	c := NewCollection()
+	tags := []string{"a", "b", "c", "d", "e"}
+	for i := 0; i < docs; i++ {
+		b := c.NewDocument(randomDocName(i))
+		n := 1 + rng.Intn(maxSize)
+		b.Enter(tags[rng.Intn(len(tags))], "")
+		open := 1
+		for j := 1; j < n; j++ {
+			if open > 1 && rng.Intn(3) == 0 {
+				b.Leave()
+				open--
+				continue
+			}
+			b.Enter(tags[rng.Intn(len(tags))], "")
+			open++
+		}
+		for open > 0 {
+			b.Leave()
+			open--
+		}
+		b.Close()
+	}
+	for i := 0; i < links; i++ {
+		from := NodeID(rng.Intn(c.NumNodes()))
+		to := NodeID(rng.Intn(c.NumNodes()))
+		kind := EdgeInterLink
+		if c.DocOf(from) == c.DocOf(to) {
+			kind = EdgeIntraLink
+		}
+		c.AddLink(from, to, kind)
+	}
+	c.Freeze()
+	return c
+}
+
+// RandomTreeCollection builds a collection whose overall data graph is a
+// tree: documents are linked root-to-root so that the document graph forms a
+// tree (the Maximal PPO situation of §4.3).
+func RandomTreeCollection(rng *rand.Rand, docs, maxSize int) *Collection {
+	c := NewCollection()
+	tags := []string{"a", "b", "c", "d", "e"}
+	type docInfo struct {
+		root   NodeID
+		leaves []NodeID
+	}
+	var infos []docInfo
+	for i := 0; i < docs; i++ {
+		b := c.NewDocument(randomDocName(i))
+		var info docInfo
+		info.root = b.Enter(tags[rng.Intn(len(tags))], "")
+		n := 1 + rng.Intn(maxSize)
+		open := 1
+		for j := 1; j < n; j++ {
+			if open > 1 && rng.Intn(3) == 0 {
+				b.Leave()
+				open--
+				continue
+			}
+			info.leaves = append(info.leaves, b.Enter(tags[rng.Intn(len(tags))], ""))
+			open++
+		}
+		for open > 0 {
+			b.Leave()
+			open--
+		}
+		if len(info.leaves) == 0 {
+			info.leaves = []NodeID{info.root}
+		}
+		b.Close()
+		infos = append(infos, info)
+	}
+	// Link document i (i>0) from a random element of a random earlier
+	// document to document i's root: the document graph is a tree and all
+	// links point to roots, so G_X is a tree.
+	for i := 1; i < len(infos); i++ {
+		src := infos[rng.Intn(i)]
+		from := src.leaves[rng.Intn(len(src.leaves))]
+		c.AddLink(from, infos[i].root, EdgeInterLink)
+	}
+	c.Freeze()
+	return c
+}
+
+func randomDocName(i int) string {
+	const digits = "0123456789"
+	if i == 0 {
+		return "doc0"
+	}
+	var buf [12]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = digits[i%10]
+		i /= 10
+	}
+	return "doc" + string(buf[pos:])
+}

@@ -1,0 +1,66 @@
+package xmlparse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmlgraph"
+)
+
+// FuzzLoadDocument checks that arbitrary input never panics the loader and
+// that accepted documents produce structurally valid collections.
+func FuzzLoadDocument(f *testing.F) {
+	for _, seed := range []string{
+		movieDoc,
+		reviewDoc,
+		`<a><b idref="x"/><c id="x"/></a>`,
+		`<a href="other.xml#frag"/>`,
+		`<a>`, `</a>`, `<a><b></a></b>`, ``, `text only`,
+		`<a xmlns:xlink="http://www.w3.org/1999/xlink" xlink:href="#y"><b id="y"/></a>`,
+		`<a idrefs="x y z"/>`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		l := NewLoader()
+		if err := l.LoadDocument("fuzz.xml", strings.NewReader(doc)); err != nil {
+			return
+		}
+		c, err := l.Finish()
+		if err != nil {
+			return
+		}
+		if c.NumDocs() != 1 {
+			t.Fatalf("accepted document produced %d docs", c.NumDocs())
+		}
+		// Every node must have a consistent parent/child relation.
+		first, last := c.Doc(0).Nodes()
+		if first == last {
+			t.Fatal("accepted document has no elements")
+		}
+		for n := first; n < last; n++ {
+			p := c.Parent(n)
+			if p == xmlgraph.InvalidNode {
+				if c.Doc(0).Root != n {
+					t.Fatalf("non-root node %d without parent", n)
+				}
+				continue
+			}
+			found := false
+			c.EachChild(p, func(ch xmlgraph.NodeID) {
+				if ch == n {
+					found = true
+				}
+			})
+			if !found {
+				t.Fatalf("node %d missing from parent's children", n)
+			}
+		}
+		// Links must connect valid nodes.
+		for _, lk := range c.Links() {
+			if !c.Valid(lk.From) || !c.Valid(lk.To) {
+				t.Fatalf("invalid link %+v", lk)
+			}
+		}
+	})
+}

@@ -1,0 +1,157 @@
+// Command flixd serves a FliX index over HTTP: it loads a directory of XML
+// documents, restores a persisted index (or builds one), and answers
+// concurrent connection and ranked-path queries until terminated.
+//
+// Usage:
+//
+//	flixd -dir ./docs [-addr :8080] [-load index.flix] [-config hybrid]
+//	      [-ontology tags.txt] [-inflight 64] [-timeout 2s] [-cache 1024]
+//
+// Endpoints (see internal/server):
+//
+//	GET /v1/descendants?start=<doc|node>&tag=<tag>[&k=][&maxdist=][&timeout=]
+//	GET /v1/connected?from=<doc|node>&to=<doc|node>[&maxdist=]
+//	GET /v1/query?q=<expr>[&k=]
+//	GET /healthz · /statsz · /metrics
+//
+// On SIGINT/SIGTERM the server stops accepting connections and drains
+// in-flight queries before exiting (bounded by -drain).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	flix "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("flixd: ")
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		dir      = flag.String("dir", "", "directory of *.xml documents (required)")
+		loadIx   = flag.String("load", "", "restore a persisted index from this file instead of building")
+		config   = flag.String("config", "hybrid", "configuration: naive | maximal-ppo | unconnected-hopi | hybrid | monolithic")
+		partSize = flag.Int("partition", 5000, "partition size bound for unconnected-hopi / hybrid")
+		strategy = flag.String("strategy", "", "force a per-meta-document strategy: ppo | hopi | apex | tc")
+		ontoFile = flag.String("ontology", "", "ontology file with 'tagA tagB score' lines for ~ expansion")
+		inflight = flag.Int("inflight", 64, "admission limit: concurrent queries before 429 shedding")
+		timeout  = flag.Duration("timeout", 2*time.Second, "default per-request deadline")
+		maxTO    = flag.Duration("max-timeout", 30*time.Second, "upper clamp on client-requested deadlines")
+		limit    = flag.Int("limit", 100, "default result limit per request")
+		maxLimit = flag.Int("max-limit", 10000, "upper clamp on client-requested result limits")
+		cacheSz  = flag.Int("cache", 1024, "query-cache capacity (0 disables)")
+		drain    = flag.Duration("drain", 15*time.Second, "shutdown grace period for in-flight queries")
+		quiet    = flag.Bool("quiet", false, "disable per-request access logging")
+	)
+	flag.Parse()
+	if *dir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	loader := flix.NewLoader()
+	if err := loader.LoadDir(*dir); err != nil {
+		log.Fatal(err)
+	}
+	coll, err := loader.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range loader.Errs() {
+		log.Printf("warning: %v", e)
+	}
+
+	var ix *flix.Index
+	t0 := time.Now()
+	if *loadIx != "" {
+		f, err := os.Open(*loadIx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ix, err = flix.Load(coll, f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("index restored from %s in %s", *loadIx, time.Since(t0).Round(time.Millisecond))
+	} else {
+		cfg := flix.Config{PartitionSize: *partSize, Strategy: *strategy}
+		switch *config {
+		case "naive":
+			cfg.Kind = flix.Naive
+		case "maximal-ppo":
+			cfg.Kind = flix.MaximalPPO
+		case "unconnected-hopi":
+			cfg.Kind = flix.UnconnectedHOPI
+		case "hybrid":
+			cfg.Kind = flix.Hybrid
+		case "monolithic":
+			cfg.Kind = flix.Monolithic
+		default:
+			log.Fatalf("unknown configuration %q", *config)
+		}
+		ix, err = flix.Build(coll, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("index built in %s", time.Since(t0).Round(time.Millisecond))
+	}
+	log.Print(ix.Describe())
+
+	scfg := server.Config{
+		MaxInFlight:    *inflight,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTO,
+		DefaultLimit:   *limit,
+		MaxLimit:       *maxLimit,
+		CacheSize:      *cacheSz, // 0 from the flag means disabled
+	}
+	if *cacheSz <= 0 {
+		scfg.CacheSize = -1
+	}
+	if !*quiet {
+		scfg.Logger = log.New(os.Stderr, "flixd: ", 0)
+	}
+	s := server.New(ix, scfg)
+	if *ontoFile != "" {
+		text, err := os.ReadFile(*ontoFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		onto, err := flix.ParseOntology(string(text))
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.SetOntology(onto)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("serving %d documents / %d elements on %s", coll.NumDocs(), coll.NumNodes(), *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case got := <-sig:
+		log.Printf("%v: draining in-flight queries (max %s)", got, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Fatal(err)
+		}
+		log.Print("bye")
+	}
+}

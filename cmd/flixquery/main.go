@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -36,6 +37,7 @@ func main() {
 		tag      = flag.String("tag", "", "element name for the raw query (empty = wildcard)")
 		k        = flag.Int("k", 0, "maximum results (0 = all)")
 		maxDist  = flag.Int("maxdist", 0, "distance threshold (0 = unlimited)")
+		timeout  = flag.Duration("timeout", 0, "abort the query after this duration (0 = no deadline), e.g. 500ms")
 		stats    = flag.Bool("stats", false, "print collection statistics and index summary, then exit")
 		saveIx   = flag.String("save", "", "write the built index to this file")
 		loadIx   = flag.String("load", "", "load a previously saved index instead of building (-config is ignored)")
@@ -103,13 +105,27 @@ func main() {
 		return
 	}
 
+	// The deadline uses the same cancellation hook as the flixd server:
+	// the context's Done channel threads into the evaluator's
+	// priority-queue loop, so a timed-out query stops promptly and the
+	// results printed so far stand.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	switch {
 	case *queryStr != "":
-		runRanked(ix, coll, *queryStr, *ontoFile, *k)
+		runRanked(ctx, ix, coll, *queryStr, *ontoFile, *k)
 	case *startDoc != "":
-		runRaw(ix, coll, *startDoc, *tag, *k, *maxDist)
+		runRaw(ctx, ix, coll, *startDoc, *tag, *k, *maxDist)
 	default:
 		log.Fatal("one of -query, -start or -stats is required")
+	}
+	if ctx.Err() != nil {
+		log.Printf("query aborted after %v; results above are partial", *timeout)
 	}
 }
 
@@ -132,12 +148,12 @@ func parseConfig(name string, partSize int, strategy string) (flix.Config, error
 	return cfg, nil
 }
 
-func runRanked(ix *flix.Index, coll *flix.Collection, expr, ontoFile string, k int) {
+func runRanked(ctx context.Context, ix *flix.Index, coll *flix.Collection, expr, ontoFile string, k int) {
 	q, err := flix.ParseQuery(expr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	eval := &flix.Evaluator{Index: ix, MaxResults: k}
+	eval := &flix.Evaluator{Index: ix, MaxResults: k, Cancel: ctx.Done()}
 	if ontoFile != "" {
 		text, err := os.ReadFile(ontoFile)
 		if err != nil {
@@ -167,13 +183,13 @@ func runRanked(ix *flix.Index, coll *flix.Collection, expr, ontoFile string, k i
 	}
 }
 
-func runRaw(ix *flix.Index, coll *flix.Collection, startDoc, tag string, k, maxDist int) {
+func runRaw(ctx context.Context, ix *flix.Index, coll *flix.Collection, startDoc, tag string, k, maxDist int) {
 	d, ok := coll.DocByName(startDoc)
 	if !ok {
 		log.Fatalf("document %q not in collection", startDoc)
 	}
 	start := coll.Doc(d).Root
-	opts := flix.Options{MaxResults: k, MaxDist: int32(maxDist)}
+	opts := flix.Options{MaxResults: k, MaxDist: int32(maxDist), Cancel: ctx.Done()}
 	i := 0
 	ix.Descendants(start, tag, opts, func(r flix.Result) bool {
 		i++

@@ -2,6 +2,7 @@ package flix
 
 import (
 	"container/list"
+	"sort"
 	"sync"
 
 	"repro/internal/xmlgraph"
@@ -20,6 +21,15 @@ import (
 type QueryCache struct {
 	ix  *Index
 	cap int
+
+	// StoreBounded makes a miss with client-imposed bounds (MaxResults,
+	// MaxDist, IncludeSelf) evaluate the query *unbounded*, store the
+	// complete stream, and then replay it through the caller's Options.
+	// Repeated top-k queries — the typical server workload — then hit the
+	// cache, at the cost of the first evaluation materializing the full
+	// result set.  Off by default to preserve the library's streaming
+	// early-termination behavior.
+	StoreBounded bool
 
 	mu  sync.Mutex
 	lru *list.List // of *cacheEntry, front = most recent
@@ -63,7 +73,22 @@ func (c *QueryCache) Descendants(start xmlgraph.NodeID, tag string, opts Options
 	// client-imposed truncation.
 	cacheable := opts.MaxResults == 0 && opts.MaxDist == 0 && !opts.IncludeSelf
 	if !cacheable {
-		c.ix.Descendants(start, tag, opts, fn)
+		if !c.StoreBounded {
+			c.ix.Descendants(start, tag, opts, fn)
+			return
+		}
+		// StoreBounded: evaluate unbounded (still honoring cancellation),
+		// store the complete stream, replay it under the caller's bounds.
+		full := Options{ExactOrder: opts.ExactOrder, Cancel: opts.Cancel}
+		var results []Result
+		c.ix.Descendants(start, tag, full, func(r Result) bool {
+			results = append(results, r)
+			return true
+		})
+		if !canceled(opts.Cancel) {
+			c.store(key, results)
+		}
+		replay(results, opts, fn)
 		return
 	}
 	var results []Result
@@ -76,13 +101,26 @@ func (c *QueryCache) Descendants(start xmlgraph.NodeID, tag string, opts Options
 		}
 		return true
 	})
+	// A cancellation stops the priority-queue loop without fn ever
+	// returning false; such a truncated stream must not be stored.
+	if canceled(opts.Cancel) {
+		complete = false
+	}
 	if complete {
 		c.store(key, results)
 	}
 }
 
-// replay feeds stored results through the caller's options.
+// replay feeds stored results through the caller's options.  Stored streams
+// are in the (approximate) order their evaluation produced; ExactOrder
+// callers get a sorted copy, which is exact because the stream is complete.
 func replay(results []Result, opts Options, fn Emit) {
+	if opts.ExactOrder && !sortedByDist(results) {
+		sorted := make([]Result, len(results))
+		copy(sorted, results)
+		sortResults(sorted)
+		results = sorted
+	}
 	emitted := 0
 	for _, r := range results {
 		if opts.MaxDist > 0 && r.Dist > opts.MaxDist {
@@ -128,6 +166,35 @@ func (c *QueryCache) store(key cacheKey, results []Result) {
 		delete(c.byK, last.Value.(*cacheEntry).key)
 	}
 	c.byK[key] = c.lru.PushFront(&cacheEntry{key: key, results: results})
+}
+
+// sortedByDist reports whether results are already in ascending
+// (dist, node) order, the common case for single-meta-document streams.
+func sortedByDist(results []Result) bool {
+	for i := 1; i < len(results); i++ {
+		a, b := results[i-1], results[i]
+		if a.Dist > b.Dist || (a.Dist == b.Dist && a.Node > b.Node) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortResults orders results by ascending (dist, node).
+func sortResults(results []Result) {
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Dist != results[j].Dist {
+			return results[i].Dist < results[j].Dist
+		}
+		return results[i].Node < results[j].Node
+	})
+}
+
+// Counts returns the number of cache hits and misses so far.
+func (c *QueryCache) Counts() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
 }
 
 // HitRate returns hits / (hits + misses), or 0 before any lookup.

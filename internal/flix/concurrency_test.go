@@ -1,0 +1,71 @@
+package flix
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSharedIndex hammers one shared Index and one shared
+// QueryCache from many goroutines mixing descendants queries, connection
+// tests and stats snapshots.  It exists to run under the race detector
+// (go test -race): the Index is immutable after Build, the stats counters
+// are atomics, and the cache serializes behind its mutex, so no interleaving
+// may race or corrupt results.
+func TestConcurrentSharedIndex(t *testing.T) {
+	c, start := buildChain(t, 40)
+	ix, err := Build(c, Config{Kind: Hybrid, PartitionSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := ix.NewQueryCache(8)
+	cache.StoreBounded = true
+	items := c.NodesByTag("item")
+	want := len(items)
+
+	const workers = 8
+	const iters = 60
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch (w + i) % 4 {
+				case 0:
+					n := 0
+					ix.Descendants(start, "item", Options{}, func(Result) bool { n++; return true })
+					if n != want {
+						errs <- "descendants result count changed under concurrency"
+						return
+					}
+				case 1:
+					n := 0
+					cache.Descendants(start, "item", Options{MaxResults: 5}, func(Result) bool { n++; return true })
+					if n != 5 {
+						errs <- "cached descendants result count changed under concurrency"
+						return
+					}
+				case 2:
+					target := items[(w*iters+i)%len(items)]
+					if _, ok := ix.Connected(start, target, 0); !ok {
+						errs <- "connection test failed under concurrency"
+						return
+					}
+				case 3:
+					_ = ix.Stats().Snapshot()
+					_ = ix.Advise()
+					_ = cache.HitRate()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if hits, misses := cache.Counts(); hits == 0 || misses == 0 {
+		t.Errorf("cache saw (%d hits, %d misses); the mixed load should produce both", hits, misses)
+	}
+}

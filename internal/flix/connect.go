@@ -15,6 +15,15 @@ import (
 // documents it is the length of the shortest path the evaluator discovers,
 // an upper bound of the true shortest distance.
 func (ix *Index) Connected(a, b xmlgraph.NodeID, maxDist int32) (int32, bool) {
+	return ix.ConnectedOpts(a, b, Options{MaxDist: maxDist})
+}
+
+// ConnectedOpts is Connected with the full option set: opts.MaxDist bounds
+// the search depth and opts.Cancel aborts it (a canceled test reports "not
+// connected" for whatever it had not yet discovered).  The remaining Options
+// fields do not apply to connection tests and are ignored.
+func (ix *Index) ConnectedOpts(a, b xmlgraph.NodeID, opts Options) (int32, bool) {
+	maxDist := opts.MaxDist
 	if a == b {
 		return 0, true
 	}
@@ -26,6 +35,9 @@ func (ix *Index) Connected(a, b xmlgraph.NodeID, maxDist int32) (int32, bool) {
 	best := int32(-1)
 
 	for f.Len() > 0 {
+		if canceled(opts.Cancel) {
+			break
+		}
 		it := heap.Pop(&f).(pqItem)
 		if maxDist > 0 && it.dist > maxDist {
 			break
@@ -229,6 +241,9 @@ func (ix *Index) Ancestors(start xmlgraph.NodeID, tag string, opts Options, fn E
 	emitted := 0
 
 	for f.Len() > 0 {
+		if canceled(opts.Cancel) {
+			return
+		}
 		it := heap.Pop(&f).(pqItem)
 		if opts.MaxDist > 0 && it.dist > opts.MaxDist {
 			break

@@ -40,6 +40,25 @@ type Options struct {
 	// lying on a cycle is re-reported as its own descendant by the seen
 	// set but suppressed by the entry-point scheme.
 	DupSeenSet bool
+	// Cancel aborts the evaluation when closed (typically a
+	// context.Context's Done channel).  The priority-queue loop checks it
+	// on every pop, so a canceled query stops promptly instead of
+	// exhausting the frontier; results emitted before the cancellation
+	// stand.  Nil means the query runs to completion.
+	Cancel <-chan struct{}
+}
+
+// canceled reports whether ch (a Done-style channel) has been closed.
+func canceled(ch <-chan struct{}) bool {
+	if ch == nil {
+		return false
+	}
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
 }
 
 // Emit receives one result; returning false cancels the query (the "user
@@ -133,6 +152,10 @@ func (ix *Index) evaluate(starts []pqItem, tag string, opts Options, fn Emit) {
 	}
 
 	for f.Len() > 0 && !stopped {
+		if canceled(opts.Cancel) {
+			stopped = true
+			break
+		}
 		it := heap.Pop(&f).(pqItem)
 		if opts.MaxDist > 0 && it.dist > opts.MaxDist {
 			break // every remaining frontier entry is at least as far

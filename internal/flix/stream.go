@@ -26,6 +26,11 @@ func (ix *Index) Stream(start xmlgraph.NodeID, tag string, opts Options) *Stream
 		ch:     make(chan Result, 64),
 		cancel: make(chan struct{}),
 	}
+	if opts.Cancel == nil {
+		// Close also stops the evaluation between emissions, not only at
+		// the next channel send.
+		opts.Cancel = s.cancel
+	}
 	go func() {
 		defer close(s.ch)
 		ix.Descendants(start, tag, opts, func(r Result) bool {
@@ -45,6 +50,9 @@ func (ix *Index) StreamType(tagA, tagB string, opts Options) *Stream {
 	s := &Stream{
 		ch:     make(chan Result, 64),
 		cancel: make(chan struct{}),
+	}
+	if opts.Cancel == nil {
+		opts.Cancel = s.cancel
 	}
 	go func() {
 		defer close(s.ch)

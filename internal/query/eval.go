@@ -45,6 +45,23 @@ type Evaluator struct {
 	// //-step additionally matches *ancestors*, scaled by this factor in
 	// (0, 1).  0 disables inverse matching.
 	InverseScore float64
+	// Cancel aborts the evaluation when closed (typically a context's
+	// Done channel): the hook is forwarded into every index scan and
+	// checked between frontier expansions, so Evaluate returns promptly
+	// with the matches ranked so far.
+	Cancel <-chan struct{}
+}
+
+func (e *Evaluator) canceled() bool {
+	if e.Cancel == nil {
+		return false
+	}
+	select {
+	case <-e.Cancel:
+		return true
+	default:
+		return false
+	}
 }
 
 func (e *Evaluator) decay() float64 {
@@ -113,6 +130,9 @@ func (e *Evaluator) matchesPred(s Step, n xmlgraph.NodeID) bool {
 func (e *Evaluator) Evaluate(q *Query) []Match {
 	frontier := e.anchor(q.Steps[0])
 	for _, s := range q.Steps[1:] {
+		if e.canceled() {
+			break
+		}
 		frontier = e.advance(frontier, s)
 		if len(frontier) == 0 {
 			return nil
@@ -197,6 +217,9 @@ func (e *Evaluator) advance(frontier map[xmlgraph.NodeID]Match, s Step) map[xmlg
 	}
 	for _, wt := range e.expansions(s) {
 		for _, m := range frontier {
+			if e.canceled() {
+				return next
+			}
 			base := m.Score * wt.Score
 			if base < e.minScore() {
 				continue
@@ -209,7 +232,7 @@ func (e *Evaluator) advance(frontier map[xmlgraph.NodeID]Match, s Step) map[xmlg
 				})
 				continue
 			}
-			opts := flix.Options{MaxDist: e.maxDistFor(base)}
+			opts := flix.Options{MaxDist: e.maxDistFor(base), Cancel: e.Cancel}
 			e.Index.Descendants(m.Node, wt.Tag, opts, func(r flix.Result) bool {
 				score := base
 				if r.Dist > 1 {
@@ -223,7 +246,7 @@ func (e *Evaluator) advance(frontier map[xmlgraph.NodeID]Match, s Step) map[xmlg
 				if invBase < e.minScore() {
 					continue
 				}
-				invOpts := flix.Options{MaxDist: e.maxDistFor(invBase)}
+				invOpts := flix.Options{MaxDist: e.maxDistFor(invBase), Cancel: e.Cancel}
 				e.Index.Ancestors(m.Node, wt.Tag, invOpts, func(r flix.Result) bool {
 					score := invBase
 					if r.Dist > 1 {

@@ -75,7 +75,7 @@ func (e *Evaluator) EvaluateTopK(q *Query, k int) []Match {
 
 	best := make(map[xmlgraph.NodeID]Match)
 	collected := &matchHeap{} // min-heap of the current top k scores
-	for h.Len() > 0 {
+	for h.Len() > 0 && !e.canceled() {
 		// Threshold test: the head's current score is an upper bound on
 		// anything any remaining stream can still produce.
 		if collected.Len() >= k && (*collected)[0].Score >= h[0].curScore {
@@ -153,7 +153,7 @@ func (e *Evaluator) newStream(from Match, tag string, base float64) *resultStrea
 func (s *resultStream) next() bool {
 	if !s.fetched {
 		s.fetched = true
-		s.e.Index.Descendants(s.from.Node, s.tag, flix.Options{MaxDist: s.maxDist},
+		s.e.Index.Descendants(s.from.Node, s.tag, flix.Options{MaxDist: s.maxDist, Cancel: s.e.Cancel},
 			func(r flix.Result) bool {
 				s.buf = append(s.buf, r)
 				return true

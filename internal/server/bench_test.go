@@ -1,0 +1,107 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/dblp"
+	"repro/internal/flix"
+)
+
+// benchServer builds a DBLP-style corpus and wraps it in a Server, so later
+// PRs have a serving-path baseline (HTTP parsing + admission + evaluation +
+// JSON encoding), not just library-call numbers.
+func benchServer(b *testing.B, docs int) (*Server, *dblp.Collection) {
+	b.Helper()
+	corpus := dblp.Generate(dblp.Scaled(docs))
+	coll := corpus.BuildGraph()
+	ix, err := flix.Build(coll, flix.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return New(ix, Config{MaxInFlight: 256}), corpus
+}
+
+// BenchmarkServeDescendantsHTTP measures full-stack throughput over real
+// HTTP connections with concurrent clients rotating across start documents.
+func BenchmarkServeDescendantsHTTP(b *testing.B) {
+	s, corpus := benchServer(b, 400)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	urls := make([]string, 32)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("%s/v1/descendants?start=%s&tag=title&k=20",
+			ts.URL, corpus.DocName(i*len(corpus.Pubs)/len(urls)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := &http.Client{}
+		i := 0
+		for pb.Next() {
+			resp, err := client.Get(urls[i%len(urls)])
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkServeDescendantsHandler measures the handler path without TCP:
+// admission, evaluation, cache and JSON encoding via httptest recorders.
+func BenchmarkServeDescendantsHandler(b *testing.B) {
+	s, corpus := benchServer(b, 400)
+	h := s.Handler()
+	paths := make([]string, 32)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/v1/descendants?start=%s&tag=title&k=20",
+			corpus.DocName(i*len(corpus.Pubs)/len(paths)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			req := httptest.NewRequest(http.MethodGet, paths[i%len(paths)], nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Errorf("status %d", rec.Code)
+				return
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkServeRankedQueryHandler covers the /v1/query path: parse, ranked
+// top-k evaluation, JSON encoding.
+func BenchmarkServeRankedQueryHandler(b *testing.B) {
+	s, _ := benchServer(b, 200)
+	h := s.Handler()
+	path := "/v1/query?q=//article//author&k=10"
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest(http.MethodGet, path, nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Errorf("status %d", rec.Code)
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+)
+
+// handleMetrics renders the serving and engine counters in the Prometheus
+// text exposition format, hand-rolled on the standard library (the module
+// takes no external dependencies).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+
+	p("# HELP flix_requests_total Query requests received, by endpoint.\n")
+	p("# TYPE flix_requests_total counter\n")
+	p("flix_requests_total{endpoint=\"descendants\"} %d\n", s.reqDescendants.Load())
+	p("flix_requests_total{endpoint=\"connected\"} %d\n", s.reqConnected.Load())
+	p("flix_requests_total{endpoint=\"query\"} %d\n", s.reqQuery.Load())
+
+	p("# HELP flix_requests_shed_total Requests rejected with 429 at the admission limit.\n")
+	p("# TYPE flix_requests_shed_total counter\n")
+	p("flix_requests_shed_total %d\n", s.shed.Load())
+
+	p("# HELP flix_request_timeouts_total Requests whose deadline expired mid-evaluation.\n")
+	p("# TYPE flix_request_timeouts_total counter\n")
+	p("flix_request_timeouts_total %d\n", s.timeouts.Load())
+
+	p("# HELP flix_client_errors_total Requests rejected with a 4xx other than 429.\n")
+	p("# TYPE flix_client_errors_total counter\n")
+	p("flix_client_errors_total %d\n", s.clientErrors.Load())
+
+	p("# HELP flix_inflight_requests Queries currently evaluating.\n")
+	p("# TYPE flix_inflight_requests gauge\n")
+	p("flix_inflight_requests %d\n", s.InFlight())
+
+	snap := s.ix.Stats().Snapshot()
+	p("# HELP flix_engine_queries_total Completed index evaluations.\n")
+	p("# TYPE flix_engine_queries_total counter\n")
+	p("flix_engine_queries_total %d\n", snap.Queries)
+	p("# HELP flix_engine_entries_total Meta-document entry points processed.\n")
+	p("# TYPE flix_engine_entries_total counter\n")
+	p("flix_engine_entries_total %d\n", snap.Entries)
+	p("# HELP flix_engine_link_hops_total Runtime link traversals.\n")
+	p("# TYPE flix_engine_link_hops_total counter\n")
+	p("flix_engine_link_hops_total %d\n", snap.LinkHops)
+	p("# HELP flix_engine_results_total Results emitted by the evaluator.\n")
+	p("# TYPE flix_engine_results_total counter\n")
+	p("flix_engine_results_total %d\n", snap.Results)
+
+	if s.cache != nil {
+		hits, misses := s.cache.Counts()
+		p("# HELP flix_cache_hits_total Query-cache hits.\n")
+		p("# TYPE flix_cache_hits_total counter\n")
+		p("flix_cache_hits_total %d\n", hits)
+		p("# HELP flix_cache_misses_total Query-cache misses.\n")
+		p("# TYPE flix_cache_misses_total counter\n")
+		p("flix_cache_misses_total %d\n", misses)
+		p("# HELP flix_cache_entries Cached query streams.\n")
+		p("# TYPE flix_cache_entries gauge\n")
+		p("flix_cache_entries %d\n", s.cache.Len())
+	}
+
+	p("# HELP flix_index_meta_documents Meta documents in the index.\n")
+	p("# TYPE flix_index_meta_documents gauge\n")
+	p("flix_index_meta_documents %d\n", s.ix.NumMetaDocuments())
+	p("# HELP flix_index_runtime_links Links followed at query time.\n")
+	p("# TYPE flix_index_runtime_links gauge\n")
+	p("flix_index_runtime_links %d\n", s.ix.RuntimeLinks())
+
+	p("# HELP flix_index_strategy_meta_documents Meta documents per indexing strategy.\n")
+	p("# TYPE flix_index_strategy_meta_documents gauge\n")
+	counts := s.ix.StrategyCounts()
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p("flix_index_strategy_meta_documents{strategy=%q} %d\n", n, counts[n])
+	}
+}

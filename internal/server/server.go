@@ -1,0 +1,516 @@
+// Package server turns a built flix.Index into a long-lived, shared,
+// overload-safe HTTP endpoint — the serving layer the paper's framework
+// implies but leaves to the host system.
+//
+// One process loads (or builds) an index once and answers concurrent
+// queries over a small JSON API:
+//
+//	GET /v1/descendants  start//tag connection queries
+//	GET /v1/connected    point-to-point connection tests
+//	GET /v1/query        ranked path expressions (ParseQuery/Evaluator)
+//	GET /healthz         liveness
+//	GET /statsz          engine + self-tuning + server statistics
+//	GET /metrics         Prometheus text format
+//
+// Every query endpoint runs behind a bounded admission semaphore (excess
+// load is shed immediately with 429 instead of queueing), a per-request
+// deadline (the context's Done channel is threaded into the evaluator's
+// priority-queue loop, so a timed-out query stops promptly and returns what
+// it found, flagged as truncated), and request-scoped result limits.  A
+// QueryCache fronts the descendants path; /statsz reports its hit rate next
+// to the §7 self-tuning advice so operators can see when the meta-document
+// layout has gone stale for the live query load.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/flix"
+	"repro/internal/ontology"
+	"repro/internal/query"
+	"repro/internal/xmlgraph"
+)
+
+// Config tunes the serving layer.  The zero value is usable; New fills in
+// the defaults below.
+type Config struct {
+	// MaxInFlight bounds the number of concurrently evaluating queries;
+	// requests beyond it are shed with 429.  Default 64.
+	MaxInFlight int
+	// DefaultTimeout is the per-request deadline when the client does not
+	// pass ?timeout=.  Default 2s.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-requested deadlines.  Default 30s.
+	MaxTimeout time.Duration
+	// DefaultLimit is the result limit when the client does not pass ?k=.
+	// Default 100.
+	DefaultLimit int
+	// MaxLimit clamps client-requested result limits.  Default 10000.
+	MaxLimit int
+	// CacheSize is the QueryCache capacity fronting /v1/descendants
+	// (number of distinct cached queries).  Default 1024; negative
+	// disables the cache.
+	CacheSize int
+	// Logger receives one access-log line per request.  Nil disables
+	// access logging.
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.DefaultLimit <= 0 {
+		c.DefaultLimit = 100
+	}
+	if c.MaxLimit <= 0 {
+		c.MaxLimit = 10000
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	return c
+}
+
+// Server serves one immutable Index.
+type Server struct {
+	ix    *flix.Index
+	coll  *xmlgraph.Collection
+	cache *flix.QueryCache
+	onto  *ontology.Ontology
+	cfg   Config
+
+	sem     chan struct{}
+	started time.Time
+
+	// Serving counters (engine-level counters live in ix.Stats()).
+	reqDescendants atomic.Int64
+	reqConnected   atomic.Int64
+	reqQuery       atomic.Int64
+	shed           atomic.Int64
+	timeouts       atomic.Int64
+	clientErrors   atomic.Int64
+
+	// queryHook, when set, runs after admission and before evaluation.
+	// It is a test seam for saturating the semaphore deterministically.
+	queryHook func()
+}
+
+// New wraps a built index.  cfg zero-value fields take the documented
+// defaults.
+func New(ix *flix.Index, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		ix:      ix,
+		coll:    ix.Collection(),
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		started: time.Now(),
+	}
+	if cfg.CacheSize > 0 {
+		s.cache = ix.NewQueryCache(cfg.CacheSize)
+		s.cache.StoreBounded = true
+	}
+	return s
+}
+
+// SetOntology installs the tag-similarity ontology used by /v1/query for
+// ~tag expansion.  Must be called before Handler.
+func (s *Server) SetOntology(o *ontology.Ontology) { s.onto = o }
+
+// InFlight returns the number of queries currently evaluating.
+func (s *Server) InFlight() int { return len(s.sem) }
+
+// Handler returns the server's HTTP handler: the API mux wrapped in the
+// access-logging middleware.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statsz", s.handleStatsz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/descendants", s.admit(&s.reqDescendants, s.handleDescendants))
+	mux.HandleFunc("/v1/connected", s.admit(&s.reqConnected, s.handleConnected))
+	mux.HandleFunc("/v1/query", s.admit(&s.reqQuery, s.handleQuery))
+	return s.logged(mux)
+}
+
+// admit wraps a query handler with the admission semaphore and the
+// per-request deadline.  When the in-flight limit is hit the request is
+// shed immediately with 429 — shedding beats queueing under overload
+// because a queued query's deadline keeps ticking while it waits.
+func (s *Server) admit(counter *atomic.Int64, h func(http.ResponseWriter, *http.Request, context.Context)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		counter.Add(1)
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			s.fail(w, http.StatusTooManyRequests, "server at capacity, retry later")
+			return
+		}
+		if s.queryHook != nil {
+			s.queryHook()
+		}
+		timeout, err := s.timeoutFor(r)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		h(w, r, ctx)
+	}
+}
+
+// expired reports whether the request deadline passed during handling.  It
+// also compares against the wall clock: a deadline can pass after the last
+// evaluator check but before the timer goroutine closes Done, and the
+// response flag should not depend on that race.
+func expired(ctx context.Context) bool {
+	if ctx.Err() != nil {
+		return true
+	}
+	dl, ok := ctx.Deadline()
+	return ok && !time.Now().Before(dl)
+}
+
+// timeoutFor derives the request deadline from ?timeout= (a Go duration
+// such as 500ms), clamped to cfg.MaxTimeout.
+func (s *Server) timeoutFor(r *http.Request) (time.Duration, error) {
+	raw := r.URL.Query().Get("timeout")
+	if raw == "" {
+		return s.cfg.DefaultTimeout, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("bad timeout %q (want a positive duration like 500ms)", raw)
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d, nil
+}
+
+// limitFor derives the result limit from ?k=, clamped to cfg.MaxLimit.
+func (s *Server) limitFor(r *http.Request) (int, error) {
+	raw := r.URL.Query().Get("k")
+	if raw == "" {
+		return s.cfg.DefaultLimit, nil
+	}
+	k, err := strconv.Atoi(raw)
+	if err != nil || k <= 0 {
+		return 0, fmt.Errorf("bad k %q (want a positive integer)", raw)
+	}
+	if k > s.cfg.MaxLimit {
+		k = s.cfg.MaxLimit
+	}
+	return k, nil
+}
+
+// resolveNode turns a ?start= / ?from= value into a node: a document name
+// resolves to that document's root, anything else must be a numeric NodeID.
+func (s *Server) resolveNode(raw string) (xmlgraph.NodeID, error) {
+	if raw == "" {
+		return xmlgraph.InvalidNode, fmt.Errorf("missing node parameter")
+	}
+	if d, ok := s.coll.DocByName(raw); ok {
+		return s.coll.Doc(d).Root, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 || n >= s.coll.NumNodes() {
+		return xmlgraph.InvalidNode, fmt.Errorf("unknown node %q (want a document name or a node id < %d)", raw, s.coll.NumNodes())
+	}
+	return xmlgraph.NodeID(n), nil
+}
+
+// nodeJSON is the wire form of one result element.
+type nodeJSON struct {
+	Node xmlgraph.NodeID `json:"node"`
+	Tag  string          `json:"tag"`
+	Doc  string          `json:"doc"`
+	Text string          `json:"text,omitempty"`
+	Dist int32           `json:"dist"`
+}
+
+func (s *Server) nodeJSON(n xmlgraph.NodeID, dist int32) nodeJSON {
+	return nodeJSON{
+		Node: n,
+		Tag:  s.coll.Tag(n),
+		Doc:  s.coll.Doc(s.coll.DocOf(n)).Name,
+		Text: snippet(s.coll.Node(n).Text),
+		Dist: dist,
+	}
+}
+
+// snippet compresses element text for the wire.
+func snippet(t string) string {
+	t = strings.Join(strings.Fields(t), " ")
+	if len(t) > 80 {
+		t = t[:77] + "..."
+	}
+	return t
+}
+
+// handleDescendants answers GET /v1/descendants?start=<doc|node>&tag=<tag>
+// [&k=][&maxdist=][&self=1][&order=exact][&timeout=].  An empty tag is the
+// wildcard start//*.
+func (s *Server) handleDescendants(w http.ResponseWriter, r *http.Request, ctx context.Context) {
+	q := r.URL.Query()
+	start, err := s.resolveNode(q.Get("start"))
+	if err != nil {
+		s.fail(w, http.StatusNotFound, "start: "+err.Error())
+		return
+	}
+	k, err := s.limitFor(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	maxDist, err := intParam(q.Get("maxdist"), 0)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "bad maxdist: "+err.Error())
+		return
+	}
+	opts := flix.Options{
+		MaxResults:  k,
+		MaxDist:     int32(maxDist),
+		IncludeSelf: boolParam(q.Get("self")),
+		ExactOrder:  q.Get("order") == "exact",
+		Cancel:      ctx.Done(),
+	}
+	results := make([]nodeJSON, 0, 16)
+	emit := func(res flix.Result) bool {
+		results = append(results, s.nodeJSON(res.Node, res.Dist))
+		return true
+	}
+	if s.cache != nil {
+		s.cache.Descendants(start, q.Get("tag"), opts, emit)
+	} else {
+		s.ix.Descendants(start, q.Get("tag"), opts, emit)
+	}
+	timedOut := expired(ctx)
+	if timedOut {
+		s.timeouts.Add(1)
+	}
+	s.ok(w, map[string]any{
+		"results":  results,
+		"count":    len(results),
+		"timedOut": timedOut,
+	})
+}
+
+// handleConnected answers GET /v1/connected?from=<doc|node>&to=<doc|node>
+// [&maxdist=][&timeout=].
+func (s *Server) handleConnected(w http.ResponseWriter, r *http.Request, ctx context.Context) {
+	q := r.URL.Query()
+	from, err := s.resolveNode(q.Get("from"))
+	if err != nil {
+		s.fail(w, http.StatusNotFound, "from: "+err.Error())
+		return
+	}
+	to, err := s.resolveNode(q.Get("to"))
+	if err != nil {
+		s.fail(w, http.StatusNotFound, "to: "+err.Error())
+		return
+	}
+	maxDist, err := intParam(q.Get("maxdist"), 0)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "bad maxdist: "+err.Error())
+		return
+	}
+	dist, ok := s.ix.ConnectedOpts(from, to, flix.Options{MaxDist: int32(maxDist), Cancel: ctx.Done()})
+	timedOut := expired(ctx)
+	if timedOut {
+		s.timeouts.Add(1)
+	}
+	resp := map[string]any{"connected": ok, "timedOut": timedOut}
+	if ok {
+		resp["dist"] = dist
+	}
+	s.ok(w, resp)
+}
+
+// handleQuery answers GET /v1/query?q=<expr>[&k=][&timeout=]: ranked path
+// expressions with structural and (when an ontology is installed) semantic
+// vagueness.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, ctx context.Context) {
+	expr := r.URL.Query().Get("q")
+	if expr == "" {
+		s.fail(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	k, err := s.limitFor(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	pq, err := query.Parse(expr)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	eval := &query.Evaluator{
+		Index:      s.ix,
+		Ontology:   s.onto,
+		MaxResults: k,
+		Cancel:     ctx.Done(),
+	}
+	matches := eval.EvaluateTopK(pq, k)
+	timedOut := expired(ctx)
+	if timedOut {
+		s.timeouts.Add(1)
+	}
+	type matchJSON struct {
+		nodeJSON
+		Score   float64 `json:"score"`
+		PathLen int32   `json:"pathLen"`
+	}
+	out := make([]matchJSON, 0, len(matches))
+	for _, m := range matches {
+		out = append(out, matchJSON{
+			nodeJSON: s.nodeJSON(m.Node, m.PathLen),
+			Score:    m.Score,
+			PathLen:  m.PathLen,
+		})
+	}
+	s.ok(w, map[string]any{
+		"results":  out,
+		"count":    len(out),
+		"timedOut": timedOut,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.ok(w, map[string]any{
+		"status": "ok",
+		"uptime": time.Since(s.started).Round(time.Millisecond).String(),
+	})
+}
+
+// handleStatsz reports the engine's query-load statistics, the §7
+// self-tuning advice for the live load, cache effectiveness and the
+// serving-layer counters in one JSON document.
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	snap := s.ix.Stats().Snapshot()
+	advice := s.ix.Advise()
+	resp := map[string]any{
+		"index": map[string]any{
+			"config":        s.ix.Config().Kind.String(),
+			"metaDocuments": s.ix.NumMetaDocuments(),
+			"runtimeLinks":  s.ix.RuntimeLinks(),
+			"strategies":    s.ix.StrategyCounts(),
+		},
+		"queryStats": map[string]any{
+			"queries":         snap.Queries,
+			"entries":         snap.Entries,
+			"linkHops":        snap.LinkHops,
+			"results":         snap.Results,
+			"entriesPerQuery": snap.EntriesPerQuery(),
+			"linkHopsPerQuery": snap.LinkHopsPerQuery(),
+		},
+		"advice": map[string]any{
+			"rebuild": advice.Rebuild,
+			"reason":  advice.Reason,
+		},
+		"server": map[string]any{
+			"inFlight":    s.InFlight(),
+			"maxInFlight": s.cfg.MaxInFlight,
+			"shed":        s.shed.Load(),
+			"timeouts":    s.timeouts.Load(),
+			"requests": map[string]int64{
+				"descendants": s.reqDescendants.Load(),
+				"connected":   s.reqConnected.Load(),
+				"query":       s.reqQuery.Load(),
+			},
+		},
+	}
+	if advice.Rebuild {
+		resp["advice"].(map[string]any)["config"] = map[string]any{
+			"kind":          advice.Config.Kind.String(),
+			"partitionSize": advice.Config.PartitionSize,
+		}
+	}
+	if s.cache != nil {
+		hits, misses := s.cache.Counts()
+		resp["cache"] = map[string]any{
+			"entries": s.cache.Len(),
+			"hits":    hits,
+			"misses":  misses,
+			"hitRate": s.cache.HitRate(),
+		}
+	}
+	s.ok(w, resp)
+}
+
+// ok writes a 200 JSON response.
+func (s *Server) ok(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+// fail writes an error JSON response.
+func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
+	if code >= 400 && code < 500 && code != http.StatusTooManyRequests {
+		s.clientErrors.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{"error": msg}) //nolint:errcheck
+}
+
+// statusWriter captures the response code for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// logged is the access-logging middleware.
+func (s *Server) logged(next http.Handler) http.Handler {
+	if s.cfg.Logger == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r)
+		s.cfg.Logger.Printf("%s %s %d %s", r.Method, r.URL.RequestURI(), sw.status, time.Since(t0).Round(time.Microsecond))
+	})
+}
+
+func intParam(raw string, def int) (int, error) {
+	if raw == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("%q is not a non-negative integer", raw)
+	}
+	return n, nil
+}
+
+func boolParam(raw string) bool {
+	return raw == "1" || raw == "true"
+}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	flixbench [-docs 6210] [-seed 42] [-exp all|table1|figure5|errors|conn|scale|hetero]
+//	flixbench [-docs 6210] [-seed 42] [-exp all|table1|figure5|errors|conn|scale|hetero|serving]
 //
 // The scale and hetero experiments go beyond the paper's evaluation and
 // cover its §7 future work: scalability with growing collections and
@@ -32,9 +32,10 @@ func main() {
 	log.SetPrefix("flixbench: ")
 	docs := flag.Int("docs", 6210, "number of publication documents (paper: 6210)")
 	seed := flag.Int64("seed", 42, "generator seed")
-	exp := flag.String("exp", "all", "experiment: all | table1 | figure5 | errors | conn | scale | hetero")
+	exp := flag.String("exp", "all", "experiment: all | table1 | figure5 | errors | conn | scale | hetero | serving")
 	pairs := flag.Int("pairs", 200, "connection-test pairs")
 	closure := flag.Bool("closure", false, "also build the full transitive closure as the Table 1 size reference (slow)")
+	servingOut := flag.String("serving-out", "BENCH_serving.json", "output file for the serving experiment's machine-readable results")
 	flag.Parse()
 
 	run := map[string]bool{}
@@ -46,12 +47,15 @@ func main() {
 		run[*exp] = true
 	}
 
-	// The scale and hetero experiments build their own collections.
+	// The scale, hetero and serving experiments build their own collections.
 	if run["scale"] {
 		scaleExperiment(*seed)
 	}
 	if run["hetero"] {
 		heteroExperiment(*seed)
+	}
+	if run["serving"] {
+		servingExperiment(*docs, *seed, *servingOut)
 	}
 	if !run["table1"] && !run["figure5"] && !run["errors"] && !run["conn"] {
 		return

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/dblp"
+	"repro/internal/flix"
+	"repro/internal/obs"
+)
+
+// servingResult is the machine-readable record of the serving experiment,
+// written to BENCH_serving.json so CI and EXPERIMENTS.md can track the
+// query-path throughput and the cost of tracing over time.
+type servingResult struct {
+	Experiment string `json:"experiment"`
+	Config     string `json:"config"`
+	Docs       int    `json:"docs"`
+	Elements   int    `json:"elements"`
+	Queries    int    `json:"queries"`
+	// NsPerOp is the mean untraced query latency; TracedNsPerOp the same
+	// with a tracer attached.  Their ratio bounds the cost of the
+	// always-compiled-in trace hooks (nil-check fast path when untraced).
+	NsPerOp          int64   `json:"nsPerOp"`
+	TracedNsPerOp    int64   `json:"tracedNsPerOp"`
+	TraceOverheadPct float64 `json:"traceOverheadPct"`
+	ResultsPerQuery  float64 `json:"resultsPerQuery"`
+	ResultsPerSec    float64 `json:"resultsPerSec"`
+	LinkHopsPerQuery float64 `json:"linkHopsPerQuery"`
+	PopsPerQuery     float64 `json:"popsPerQuery"`
+}
+
+// servingExperiment measures the serving-path metrics on the synthetic DBLP
+// collection: query latency with and without tracing, result throughput,
+// and the per-query engine effort (pops, link hops).
+func servingExperiment(docs int, seed int64, out string) {
+	fmt.Println("=== Serving: query latency and tracing overhead ===")
+	p := dblp.DefaultParams()
+	p.Docs = docs
+	p.Seed = seed
+	e := bench.NewExperiment(p)
+	ix, err := flix.Build(e.Coll, flix.Config{Kind: flix.Hybrid, PartitionSize: 5000})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const queries = 200
+	run := func(tr bool) (nsPerOp int64, results int64) {
+		before := ix.Stats().Snapshot()
+		t0 := time.Now()
+		for i := 0; i < queries; i++ {
+			opts := flix.Options{MaxResults: 100}
+			if tr {
+				opts.Tracer = obs.NewTrace(256)
+			}
+			ix.Descendants(e.Start, "article", opts, func(flix.Result) bool { return true })
+		}
+		elapsed := time.Since(t0)
+		after := ix.Stats().Snapshot()
+		return elapsed.Nanoseconds() / queries, after.Results - before.Results
+	}
+	run(false) // warm: populates per-tag postings and the page cache
+
+	nsPlain, results := run(false)
+	nsTraced, _ := run(true)
+	before := ix.Stats().Snapshot()
+	run(false)
+	after := ix.Stats().Snapshot()
+
+	r := servingResult{
+		Experiment:       "serving",
+		Config:           ix.Config().Kind.String(),
+		Docs:             e.Coll.NumDocs(),
+		Elements:         e.Coll.NumNodes(),
+		Queries:          queries,
+		NsPerOp:          nsPlain,
+		TracedNsPerOp:    nsTraced,
+		TraceOverheadPct: 100 * (float64(nsTraced) - float64(nsPlain)) / float64(nsPlain),
+		ResultsPerQuery:  float64(results) / queries,
+		ResultsPerSec:    float64(results) / (float64(nsPlain*queries) / 1e9),
+		LinkHopsPerQuery: float64(after.LinkHops-before.LinkHops) / queries,
+		PopsPerQuery:     float64(after.Pops-before.Pops) / queries,
+	}
+	fmt.Printf("%d queries: %s/op untraced, %s/op traced (%+.1f%%), %.1f results/query, %.0f results/sec, %.1f link hops/query\n\n",
+		queries, time.Duration(r.NsPerOp), time.Duration(r.TracedNsPerOp),
+		r.TraceOverheadPct, r.ResultsPerQuery, r.ResultsPerSec, r.LinkHopsPerQuery)
+
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", out)
+}

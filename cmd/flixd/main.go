@@ -6,6 +6,7 @@
 //
 //	flixd -dir ./docs [-addr :8080] [-load index.flix] [-config hybrid]
 //	      [-ontology tags.txt] [-inflight 64] [-timeout 2s] [-cache 1024]
+//	      [-slow-query 100ms] [-slow-query-sample 10] [-debug-addr :6060]
 //
 // Endpoints (see internal/server):
 //
@@ -24,6 +25,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -52,6 +54,9 @@ func main() {
 		cacheSz  = flag.Int("cache", 1024, "query-cache capacity (0 disables)")
 		drain    = flag.Duration("drain", 15*time.Second, "shutdown grace period for in-flight queries")
 		quiet    = flag.Bool("quiet", false, "disable per-request access logging")
+		slowQ    = flag.Duration("slow-query", 0, "log sampled queries slower than this with their full trace (0 disables)")
+		slowN    = flag.Int("slow-query-sample", 1, "trace 1 in N queries for the slow-query log")
+		dbgAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty disables)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -109,12 +114,14 @@ func main() {
 	log.Print(ix.Describe())
 
 	scfg := server.Config{
-		MaxInFlight:    *inflight,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTO,
-		DefaultLimit:   *limit,
-		MaxLimit:       *maxLimit,
-		CacheSize:      *cacheSz, // 0 from the flag means disabled
+		MaxInFlight:        *inflight,
+		DefaultTimeout:     *timeout,
+		MaxTimeout:         *maxTO,
+		DefaultLimit:       *limit,
+		MaxLimit:           *maxLimit,
+		CacheSize:          *cacheSz, // 0 from the flag means disabled
+		SlowQueryThreshold: *slowQ,
+		SlowQuerySample:    *slowN,
 	}
 	if *cacheSz <= 0 {
 		scfg.CacheSize = -1
@@ -133,6 +140,23 @@ func main() {
 			log.Fatal(err)
 		}
 		s.SetOntology(onto)
+	}
+
+	// The pprof endpoints live on their own listener so profiling access
+	// can be firewalled separately from the query API.
+	if *dbgAddr != "" {
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof on %s/debug/pprof/", *dbgAddr)
+			if err := http.ListenAndServe(*dbgAddr, dbg); err != nil {
+				log.Printf("debug server: %v", err)
+			}
+		}()
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: s.Handler()}

@@ -10,6 +10,9 @@
 // The -query form uses the ranked evaluator with structural and semantic
 // vagueness (an ontology can be supplied with -ontology file); the
 // -start/-tag form streams raw a//b results in approximate distance order.
+// With -explain either form additionally prints the query plan: per-meta-
+// document strategy, entry points, duplicate drops, runtime link hops, and
+// the frontier's distance progression.
 package main
 
 import (
@@ -38,6 +41,7 @@ func main() {
 		k        = flag.Int("k", 0, "maximum results (0 = all)")
 		maxDist  = flag.Int("maxdist", 0, "distance threshold (0 = unlimited)")
 		timeout  = flag.Duration("timeout", 0, "abort the query after this duration (0 = no deadline), e.g. 500ms")
+		explain  = flag.Bool("explain", false, "trace the evaluation and print the query plan after the results")
 		stats    = flag.Bool("stats", false, "print collection statistics and index summary, then exit")
 		saveIx   = flag.String("save", "", "write the built index to this file")
 		loadIx   = flag.String("load", "", "load a previously saved index instead of building (-config is ignored)")
@@ -116,13 +120,21 @@ func main() {
 		defer cancel()
 	}
 
+	var tr *flix.Trace
+	if *explain {
+		tr = flix.NewTrace(0)
+	}
 	switch {
 	case *queryStr != "":
-		runRanked(ctx, ix, coll, *queryStr, *ontoFile, *k)
+		runRanked(ctx, ix, coll, *queryStr, *ontoFile, *k, tr)
 	case *startDoc != "":
-		runRaw(ctx, ix, coll, *startDoc, *tag, *k, *maxDist)
+		runRaw(ctx, ix, coll, *startDoc, *tag, *k, *maxDist, tr)
 	default:
 		log.Fatal("one of -query, -start or -stats is required")
+	}
+	if tr != nil {
+		fmt.Println()
+		fmt.Print(tr.Summary(false).Render())
 	}
 	if ctx.Err() != nil {
 		log.Printf("query aborted after %v; results above are partial", *timeout)
@@ -148,12 +160,12 @@ func parseConfig(name string, partSize int, strategy string) (flix.Config, error
 	return cfg, nil
 }
 
-func runRanked(ctx context.Context, ix *flix.Index, coll *flix.Collection, expr, ontoFile string, k int) {
+func runRanked(ctx context.Context, ix *flix.Index, coll *flix.Collection, expr, ontoFile string, k int, tr *flix.Trace) {
 	q, err := flix.ParseQuery(expr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	eval := &flix.Evaluator{Index: ix, MaxResults: k, Cancel: ctx.Done()}
+	eval := &flix.Evaluator{Index: ix, MaxResults: k, Cancel: ctx.Done(), Tracer: tr}
 	if ontoFile != "" {
 		text, err := os.ReadFile(ontoFile)
 		if err != nil {
@@ -183,13 +195,13 @@ func runRanked(ctx context.Context, ix *flix.Index, coll *flix.Collection, expr,
 	}
 }
 
-func runRaw(ctx context.Context, ix *flix.Index, coll *flix.Collection, startDoc, tag string, k, maxDist int) {
+func runRaw(ctx context.Context, ix *flix.Index, coll *flix.Collection, startDoc, tag string, k, maxDist int, tr *flix.Trace) {
 	d, ok := coll.DocByName(startDoc)
 	if !ok {
 		log.Fatalf("document %q not in collection", startDoc)
 	}
 	start := coll.Doc(d).Root
-	opts := flix.Options{MaxResults: k, MaxDist: int32(maxDist), Cancel: ctx.Done()}
+	opts := flix.Options{MaxResults: k, MaxDist: int32(maxDist), Cancel: ctx.Done(), Tracer: tr}
 	i := 0
 	ix.Descendants(start, tag, opts, func(r flix.Result) bool {
 		i++

@@ -1,0 +1,71 @@
+package flix
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/xmlgraph"
+)
+
+// BuildStats breaks the build phase (§4) into its timed components:
+// partitioning the collection into meta documents, selecting a strategy for
+// each, and constructing the per-meta-document indexes.  flixd surfaces it
+// via /statsz so operators can see where a rebuild spends its time.
+type BuildStats struct {
+	// Partition is the time the Meta Document Builder's partitioning
+	// took.
+	Partition time.Duration
+	// Select is the summed time the Indexing Strategy Selector spent
+	// across all meta documents.
+	Select time.Duration
+	// IndexBuild is the wall time of the (parallel) index construction.
+	IndexBuild time.Duration
+	// Strategies aggregates per-strategy construction effort.
+	Strategies map[string]StrategyBuild
+}
+
+// StrategyBuild aggregates the index builds that used one strategy.
+type StrategyBuild struct {
+	// Metas is the number of meta documents built with the strategy.
+	Metas int
+	// Total is the summed build time across those meta documents.
+	Total time.Duration
+	// Max is the slowest single meta document build.
+	Max time.Duration
+}
+
+// String renders the build statistics for logs.
+func (b BuildStats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "partition %s, select %s, index build %s",
+		b.Partition.Round(time.Microsecond), b.Select.Round(time.Microsecond),
+		b.IndexBuild.Round(time.Microsecond))
+	names := make([]string, 0, len(b.Strategies))
+	for n := range b.Strategies {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s := b.Strategies[n]
+		fmt.Fprintf(&sb, " (%s: %d metas, %s total, %s max)",
+			n, s.Metas, s.Total.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+	}
+	return sb.String()
+}
+
+// BuildStats returns the build-phase timings recorded when the index was
+// constructed.  An index restored with Load reports only zeros apart from
+// what the restore path recorded.
+func (ix *Index) BuildStats() BuildStats { return ix.bstats }
+
+// StrategyAt returns the name of the indexing strategy serving the meta
+// document that contains node n — the label the serving layer attaches to
+// its per-strategy latency histograms.
+func (ix *Index) StrategyAt(n xmlgraph.NodeID) string {
+	if int(n) < 0 || int(n) >= len(ix.set.MetaOf) {
+		return ""
+	}
+	return ix.pis[ix.set.MetaOf[n]].Name()
+}

@@ -66,8 +66,14 @@ func (ix *Index) NewQueryCache(capacity int) *QueryCache {
 func (c *QueryCache) Descendants(start xmlgraph.NodeID, tag string, opts Options, fn Emit) {
 	key := cacheKey{start: start, tag: tag}
 	if results, ok := c.lookup(key); ok {
+		if opts.Tracer != nil {
+			opts.Tracer.CacheHit()
+		}
 		replay(results, opts, fn)
 		return
+	}
+	if opts.Tracer != nil {
+		opts.Tracer.CacheMiss()
 	}
 	// Cache only evaluations that run to completion without
 	// client-imposed truncation.
@@ -77,9 +83,10 @@ func (c *QueryCache) Descendants(start xmlgraph.NodeID, tag string, opts Options
 			c.ix.Descendants(start, tag, opts, fn)
 			return
 		}
-		// StoreBounded: evaluate unbounded (still honoring cancellation),
-		// store the complete stream, replay it under the caller's bounds.
-		full := Options{ExactOrder: opts.ExactOrder, Cancel: opts.Cancel}
+		// StoreBounded: evaluate unbounded (still honoring cancellation
+		// and tracing), store the complete stream, replay it under the
+		// caller's bounds.
+		full := Options{ExactOrder: opts.ExactOrder, Cancel: opts.Cancel, Tracer: opts.Tracer}
 		var results []Result
 		c.ix.Descendants(start, tag, full, func(r Result) bool {
 			results = append(results, r)

@@ -2,8 +2,10 @@ package flix
 
 import (
 	"container/heap"
+	"time"
 
 	"repro/internal/lgraph"
+	"repro/internal/obs"
 	"repro/internal/xmlgraph"
 )
 
@@ -46,6 +48,13 @@ type Options struct {
 	// exhausting the frontier; results emitted before the cancellation
 	// stand.  Nil means the query runs to completion.
 	Cancel <-chan struct{}
+	// Tracer, when non-nil, receives span-style events from the
+	// evaluation: frontier pops with their distance bounds, entry-point
+	// admissions and duplicate drops, per-meta-document index probes
+	// labeled with the strategy, runtime link hops, result emissions and
+	// cache hits/misses.  The nil fast path is a single pointer check per
+	// event site, so an untraced query pays nothing.
+	Tracer *obs.Trace
 }
 
 // canceled reports whether ch (a Done-style channel) has been closed.
@@ -121,6 +130,7 @@ func (ix *Index) TypeDescendants(tagA, tagB string, opts Options, fn Emit) {
 // those below an earlier entry point; (3) pushes the targets of e's
 // reachable runtime links at priority dist(e) + dist(e, l) + 1.
 func (ix *Index) evaluate(starts []pqItem, tag string, opts Options, fn Emit) {
+	tr := opts.Tracer // nil in the common case; every use is nil-checked
 	f := make(frontier, 0, len(starts))
 	for _, s := range starts {
 		f = append(f, s)
@@ -157,6 +167,10 @@ func (ix *Index) evaluate(starts []pqItem, tag string, opts Options, fn Emit) {
 			break
 		}
 		it := heap.Pop(&f).(pqItem)
+		ix.stats.Pops.Add(1)
+		if tr != nil {
+			tr.Pop(int64(it.node), it.dist)
+		}
 		if opts.MaxDist > 0 && it.dist > opts.MaxDist {
 			break // every remaining frontier entry is at least as far
 		}
@@ -178,17 +192,28 @@ func (ix *Index) evaluate(starts []pqItem, tag string, opts Options, fn Emit) {
 			// Ablation: entries are skipped only on exact identity,
 			// results are deduplicated through seenResults below.
 			if _, dup := seenEntries[it.node]; dup {
+				ix.stats.DupDropped.Add(1)
+				if tr != nil {
+					tr.DupDrop(mi, int64(it.node), it.dist)
+				}
 				continue
 			}
 			seenEntries[it.node] = struct{}{}
 		} else {
 			prev = entered[mi]
 			if coveredBy(idx, prev, le) {
+				ix.stats.DupDropped.Add(1)
+				if tr != nil {
+					tr.DupDrop(mi, int64(it.node), it.dist)
+				}
 				continue // descendants of e were already reported
 			}
 			entered[mi] = append(prev, le)
 		}
 		ix.stats.Entries.Add(1)
+		if tr != nil {
+			tr.Entry(mi, idx.Name(), int64(it.node), it.dist)
+		}
 
 		// (2) stream matching descendants.
 		localTag := lgraph.Tag(-1)
@@ -202,6 +227,13 @@ func (ix *Index) evaluate(starts []pqItem, tag string, opts Options, fn Emit) {
 			}
 		}
 		{
+			// Probe timing is only measured when a tracer is attached;
+			// the extra clock reads stay off the untraced hot path.
+			var probeStart time.Time
+			probeResults := 0
+			if tr != nil {
+				probeStart = time.Now()
+			}
 			visit := func(n, ld int32) bool {
 				gd := it.dist + ld
 				if opts.MaxDist > 0 && gd > opts.MaxDist {
@@ -220,6 +252,12 @@ func (ix *Index) evaluate(starts []pqItem, tag string, opts Options, fn Emit) {
 					return true // reported below an earlier entry
 				}
 				r := Result{Node: g, Dist: gd}
+				if tr != nil {
+					// Recorded at production time: an ExactOrder
+					// buffer may emit the result to the client later.
+					probeResults++
+					tr.Result(mi, int64(g), gd)
+				}
 				if buffer != nil {
 					buffer.add(r)
 					return true
@@ -234,6 +272,9 @@ func (ix *Index) evaluate(starts []pqItem, tag string, opts Options, fn Emit) {
 				idx.EachReachable(le, visit)
 			} else {
 				idx.EachReachableByTag(le, localTag, visit)
+			}
+			if tr != nil {
+				tr.Probe(mi, idx.Name(), probeResults, time.Since(probeStart))
 			}
 			if stopped {
 				break
@@ -254,6 +295,9 @@ func (ix *Index) evaluate(starts []pqItem, tag string, opts Options, fn Emit) {
 			for _, cl := range md.LinksFrom(ls) {
 				heap.Push(&f, pqItem{dist: nd, node: cl.To})
 				ix.stats.LinkHops.Add(1)
+				if tr != nil {
+					tr.LinkHop(mi, int64(cl.To), nd)
+				}
 			}
 		}
 	}

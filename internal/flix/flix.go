@@ -17,6 +17,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/meta"
 	"repro/internal/partition"
@@ -116,11 +117,12 @@ func (c Config) withDefaults() Config {
 // Index is a built FliX index over one collection.  It is immutable and
 // safe for concurrent queries.
 type Index struct {
-	coll  *xmlgraph.Collection
-	set   *meta.Set
-	pis   []pathindex.Index
-	cfg   Config
-	stats QueryStats
+	coll   *xmlgraph.Collection
+	set    *meta.Set
+	pis    []pathindex.Index
+	cfg    Config
+	stats  QueryStats
+	bstats BuildStats
 }
 
 // Build runs the build phase on a frozen collection.
@@ -131,33 +133,47 @@ func Build(c *xmlgraph.Collection, cfg Config) (*Index, error) {
 	cfg = cfg.withDefaults()
 	preferred := cfg.Strategy
 	var set *meta.Set
+	var partTime time.Duration
 	switch cfg.Kind {
 	case Naive:
-		set = meta.Build(c, partition.Singleton(c))
+		r := partition.Singleton(c)
+		partTime = r.Elapsed
+		set = meta.Build(c, r)
 	case MaximalPPO:
-		set = meta.Build(c, partition.TreePartitions(c))
+		r := partition.TreePartitions(c)
+		partTime = r.Elapsed
+		set = meta.Build(c, r)
 		if preferred == "" {
 			preferred = "ppo"
 		}
 	case UnconnectedHOPI:
-		set = meta.Build(c, partition.SizeBounded(c, cfg.PartitionSize))
+		r := partition.SizeBounded(c, cfg.PartitionSize)
+		partTime = r.Elapsed
+		set = meta.Build(c, r)
 		if preferred == "" {
 			preferred = "hopi"
 		}
 	case Hybrid:
-		set = meta.Build(c, partition.Hybrid(c, cfg.PartitionSize, cfg.MinTreeDocs))
+		r := partition.Hybrid(c, cfg.PartitionSize, cfg.MinTreeDocs)
+		partTime = r.Elapsed
+		set = meta.Build(c, r)
 	case Monolithic:
-		set = meta.Build(c, partition.Whole(c))
+		r := partition.Whole(c)
+		partTime = r.Elapsed
+		set = meta.Build(c, r)
 		if preferred == "" {
 			preferred = "hopi"
 		}
 	case ElementLevel:
+		t0 := time.Now()
 		assign, parts := partition.ElementLevel(c, cfg.PartitionSize)
+		partTime = time.Since(t0)
 		set = meta.BuildElements(c, assign, parts)
 	default:
 		return nil, fmt.Errorf("flix: unknown configuration kind %v", cfg.Kind)
 	}
 	ix := &Index{coll: c, set: set, cfg: cfg, pis: make([]pathindex.Index, len(set.Metas))}
+	ix.bstats.Partition = partTime
 	if err := ix.buildIndexes(preferred); err != nil {
 		return nil, err
 	}
@@ -169,17 +185,37 @@ func Build(c *xmlgraph.Collection, cfg Config) (*Index, error) {
 // natural parallelism of the build phase.
 func (ix *Index) buildIndexes(preferred string) error {
 	metas := ix.set.Metas
+	t0 := time.Now()
+	defer func() { ix.bstats.IndexBuild = time.Since(t0) }()
+	// Per-strategy aggregation; guarded by aggMu because workers report
+	// concurrently (the lock is outside the build work, so it costs
+	// nothing measurable).
+	var aggMu sync.Mutex
+	ix.bstats.Strategies = make(map[string]StrategyBuild)
+	record := func(idx pathindex.Index, tm meta.Timing) {
+		aggMu.Lock()
+		sb := ix.bstats.Strategies[idx.Name()]
+		sb.Metas++
+		sb.Total += tm.Build
+		if tm.Build > sb.Max {
+			sb.Max = tm.Build
+		}
+		ix.bstats.Strategies[idx.Name()] = sb
+		ix.bstats.Select += tm.Select
+		aggMu.Unlock()
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(metas) {
 		workers = len(metas)
 	}
 	if workers <= 1 {
 		for i, md := range metas {
-			idx, err := meta.BuildIndex(md, ix.cfg.Load, preferred)
+			idx, tm, err := meta.BuildIndexTimed(md, ix.cfg.Load, preferred)
 			if err != nil {
 				return err
 			}
 			ix.pis[i] = idx
+			record(idx, tm)
 		}
 		return nil
 	}
@@ -198,12 +234,13 @@ func (ix *Index) buildIndexes(preferred string) error {
 				if i >= len(metas) {
 					return
 				}
-				idx, err := meta.BuildIndex(metas[i], ix.cfg.Load, preferred)
+				idx, tm, err := meta.BuildIndexTimed(metas[i], ix.cfg.Load, preferred)
 				if err != nil {
 					errOnce.Do(func() { firstE = err })
 					return
 				}
 				ix.pis[i] = idx
+				record(idx, tm)
 			}
 		}()
 	}

@@ -15,9 +15,18 @@ import (
 type QueryStats struct {
 	// Queries counts completed evaluations.
 	Queries atomic.Int64
+	// Pops counts priority-queue pops, dropped or not — the raw work the
+	// evaluator performs.
+	Pops atomic.Int64
 	// Entries counts processed entry elements (priority-queue pops that
 	// were not dropped by duplicate elimination).
 	Entries atomic.Int64
+	// DupDropped counts pops discarded by the §5.1 duplicate elimination:
+	// an earlier entry point of the same meta document already covered
+	// them.  A high DupDropped/Pops ratio means many runtime paths
+	// converge on the same regions — wasted frontier work that Entries
+	// alone under-reports on link-heavy loads.
+	DupDropped atomic.Int64
 	// LinkHops counts runtime link traversals (frontier pushes).
 	LinkHops atomic.Int64
 	// Results counts emitted results.
@@ -26,7 +35,7 @@ type QueryStats struct {
 
 // Snapshot is an immutable copy of the counters.
 type Snapshot struct {
-	Queries, Entries, LinkHops, Results int64
+	Queries, Pops, Entries, DupDropped, LinkHops, Results int64
 }
 
 // Snapshot returns a consistent-enough copy for reporting (individual
@@ -34,10 +43,12 @@ type Snapshot struct {
 // acceptable for tuning purposes).
 func (s *QueryStats) Snapshot() Snapshot {
 	return Snapshot{
-		Queries:  s.Queries.Load(),
-		Entries:  s.Entries.Load(),
-		LinkHops: s.LinkHops.Load(),
-		Results:  s.Results.Load(),
+		Queries:    s.Queries.Load(),
+		Pops:       s.Pops.Load(),
+		Entries:    s.Entries.Load(),
+		DupDropped: s.DupDropped.Load(),
+		LinkHops:   s.LinkHops.Load(),
+		Results:    s.Results.Load(),
 	}
 }
 
@@ -57,10 +68,28 @@ func (s Snapshot) EntriesPerQuery() float64 {
 	return float64(s.Entries) / float64(s.Queries)
 }
 
+// PopsPerQuery returns the average number of priority-queue pops.
+func (s Snapshot) PopsPerQuery() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.Pops) / float64(s.Queries)
+}
+
+// DupDropRatio returns the fraction of pops discarded by duplicate
+// elimination — 0 when nothing was popped yet.
+func (s Snapshot) DupDropRatio() float64 {
+	if s.Pops == 0 {
+		return 0
+	}
+	return float64(s.DupDropped) / float64(s.Pops)
+}
+
 // String renders the snapshot for logs.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("queries=%d entries/q=%.1f linkHops/q=%.1f results=%d",
-		s.Queries, s.EntriesPerQuery(), s.LinkHopsPerQuery(), s.Results)
+	return fmt.Sprintf("queries=%d pops/q=%.1f entries/q=%.1f dupDrop=%.0f%% linkHops/q=%.1f results=%d",
+		s.Queries, s.PopsPerQuery(), s.EntriesPerQuery(), 100*s.DupDropRatio(),
+		s.LinkHopsPerQuery(), s.Results)
 }
 
 // Stats returns the index's live query statistics.
@@ -90,23 +119,33 @@ func (ix *Index) Advise() Advice {
 	}
 	hops := s.LinkHopsPerQuery()
 	entries := s.EntriesPerQuery()
+	// The duplicate-drop ratio is the second signal: Entries alone
+	// under-reports wasted work on link-heavy loads where many runtime
+	// paths converge on regions an earlier entry point already covered.
+	// Lots of dropped pops mean the frontier keeps re-crossing meta
+	// boundaries even when few entries survive.
+	drop := s.DupDropRatio()
+	dupHeavy := drop > 0.5 && s.PopsPerQuery() > 8
 	cfg := ix.cfg
 	switch {
-	case entries <= 4 && hops <= 16:
+	case entries <= 4 && hops <= 16 && !dupHeavy:
 		return Advice{Reason: fmt.Sprintf(
-			"load is local (%.1f entries/query, %.1f link hops/query); configuration fits", entries, hops)}
+			"load is local (%.1f entries/query, %.1f link hops/query, %.0f%% dup-dropped pops); configuration fits",
+			entries, hops, 100*drop)}
 	case cfg.Kind == Monolithic:
 		return Advice{Reason: "already monolithic; nothing coarser to rebuild to"}
 	case (cfg.Kind == UnconnectedHOPI || cfg.Kind == Hybrid) && cfg.PartitionSize < 1<<20:
 		next := cfg
 		next.PartitionSize = cfg.PartitionSize * 4
-		return Advice{
-			Rebuild: true,
-			Config:  next,
-			Reason: fmt.Sprintf(
-				"%.1f link hops/query: enlarge partitions %d -> %d to keep queries inside one meta document",
-				hops, cfg.PartitionSize, next.PartitionSize),
+		reason := fmt.Sprintf(
+			"%.1f link hops/query: enlarge partitions %d -> %d to keep queries inside one meta document",
+			hops, cfg.PartitionSize, next.PartitionSize)
+		if dupHeavy {
+			reason = fmt.Sprintf(
+				"%.0f%% of %.1f pops/query dropped as duplicates: enlarge partitions %d -> %d so converging link paths stay inside one meta document",
+				100*drop, s.PopsPerQuery(), cfg.PartitionSize, next.PartitionSize)
 		}
+		return Advice{Rebuild: true, Config: next, Reason: reason}
 	default:
 		return Advice{
 			Rebuild: true,

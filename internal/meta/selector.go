@@ -2,6 +2,7 @@ package meta
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/apex"
 	"repro/internal/hopi"
@@ -90,10 +91,32 @@ func Select(md *MetaDocument, load QueryLoad, preferred string) pathindex.Strate
 
 // BuildIndex selects and builds the index for one meta document.
 func BuildIndex(md *MetaDocument, load QueryLoad, preferred string) (pathindex.Index, error) {
+	idx, _, err := BuildIndexTimed(md, load, preferred)
+	return idx, err
+}
+
+// Timing breaks one meta document's index construction into its phases —
+// the raw material of the build-phase statistics surfaced by /statsz.
+type Timing struct {
+	// Select is the time the Indexing Strategy Selector spent (including
+	// the forest check it runs on the local graph).
+	Select time.Duration
+	// Build is the time the chosen strategy's builder spent.
+	Build time.Duration
+}
+
+// BuildIndexTimed is BuildIndex reporting how long strategy selection and
+// index construction took.
+func BuildIndexTimed(md *MetaDocument, load QueryLoad, preferred string) (pathindex.Index, Timing, error) {
+	var tm Timing
+	t0 := time.Now()
 	s := Select(md, load, preferred)
+	tm.Select = time.Since(t0)
+	t0 = time.Now()
 	idx, err := s.Build(md.Graph)
+	tm.Build = time.Since(t0)
 	if err != nil {
-		return nil, fmt.Errorf("meta %d: building %s: %w", md.ID, s.Name, err)
+		return nil, tm, fmt.Errorf("meta %d: building %s: %w", md.ID, s.Name, err)
 	}
-	return idx, nil
+	return idx, tm, nil
 }

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	// 1023ns has bit length 10 -> bucket 10 covers [512, 1024).
+	h.Observe(1023 * time.Nanosecond)
+	h.Observe(512 * time.Nanosecond)
+	h.Observe(1024 * time.Nanosecond) // bucket 11
+	h.Observe(0)                      // bucket 0
+	h.Observe(-5)                     // clamped to 0
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if s.Buckets[10] != 2 || s.Buckets[11] != 1 || s.Buckets[0] != 2 {
+		t.Errorf("bucket spread wrong: [0]=%d [10]=%d [11]=%d", s.Buckets[0], s.Buckets[10], s.Buckets[11])
+	}
+	if got := s.Sum(); got != 2559*time.Nanosecond {
+		t.Errorf("sum = %v, want 2559ns", got)
+	}
+}
+
+func TestHistogramOverflow(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Duration(math.MaxInt64))
+	s := h.Snapshot()
+	if s.Buckets[NumBuckets] != 1 {
+		t.Errorf("overflow bucket = %d, want 1", s.Buckets[NumBuckets])
+	}
+	eb := s.ExpositionBuckets()
+	last := eb[len(eb)-1]
+	if !math.IsInf(last.Le, 1) || last.Count != 1 {
+		t.Errorf("+Inf bucket = %+v, want count 1", last)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// A known distribution: 90 samples at ~1µs, 10 samples at ~1ms.
+	for i := 0; i < 90; i++ {
+		h.Observe(1 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.50); p50 < 512*time.Nanosecond || p50 > 2*time.Microsecond {
+		t.Errorf("p50 = %v, want ~1µs", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < 512*time.Microsecond || p99 > 2*time.Millisecond {
+		t.Errorf("p99 = %v, want ~1ms", p99)
+	}
+	if q := s.Quantile(1); q < s.Quantile(0.5) {
+		t.Errorf("q1 (%v) < q0.5 (%v)", q, s.Quantile(0.5))
+	}
+	var empty Histogram
+	if q := empty.Snapshot().Quantile(0.5); q != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", q)
+	}
+}
+
+func TestHistogramExpositionCumulative(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	eb := s.ExpositionBuckets()
+	var prevLe float64 = -1
+	var prevCount uint64
+	for _, bc := range eb {
+		if !math.IsInf(bc.Le, 1) && bc.Le <= prevLe {
+			t.Errorf("le bounds not increasing: %v after %v", bc.Le, prevLe)
+		}
+		if bc.Count < prevCount {
+			t.Errorf("cumulative counts decreasing: %d after %d", bc.Count, prevCount)
+		}
+		prevLe, prevCount = bc.Le, bc.Count
+	}
+	if eb[len(eb)-1].Count != s.Count {
+		t.Errorf("+Inf cumulative = %d, want total %d", eb[len(eb)-1].Count, s.Count)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines while
+// a reader keeps snapshotting percentiles — the -race test the ISSUE asks
+// for.  Beyond the absence of races it checks that cumulative counts never
+// regress across snapshots and that the final count is exact.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const writers = 8
+	const perWriter = 5000
+	stop := make(chan struct{})
+	var lastInf uint64
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			s := h.Snapshot()
+			_ = s.Quantile(0.5)
+			_ = s.Quantile(0.95)
+			_ = s.Quantile(0.99)
+			eb := s.ExpositionBuckets()
+			inf := eb[len(eb)-1].Count
+			if inf < lastInf {
+				t.Errorf("+Inf cumulative regressed: %d -> %d", lastInf, inf)
+				return
+			}
+			lastInf = inf
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(time.Duration(w*1000+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+	if got := h.Snapshot().Count; got != writers*perWriter {
+		t.Errorf("final count = %d, want %d", got, writers*perWriter)
+	}
+}
+
+func TestTraceSummary(t *testing.T) {
+	tr := NewTrace(0)
+	tr.CacheMiss()
+	tr.Pop(7, 0)
+	tr.Entry(0, "ppo", 7, 0)
+	tr.Probe(0, "ppo", 3, 42*time.Nanosecond)
+	tr.LinkHop(0, 9, 2)
+	tr.Result(0, 8, 1)
+	tr.Pop(9, 2)
+	tr.DupDrop(0, 9, 2)
+	s := tr.Summary(true)
+	if s.Pops != 2 || s.Entries != 1 || s.DupDrops != 1 || s.LinkHops != 1 || s.Results != 1 {
+		t.Errorf("summary counters wrong: %+v", s)
+	}
+	if len(s.Metas) != 1 {
+		t.Fatalf("metas = %d, want 1", len(s.Metas))
+	}
+	m := s.Metas[0]
+	if m.Strategy != "ppo" || m.Entries != 1 || m.DupDrops != 1 || m.LinkHops != 1 ||
+		m.Results != 1 || m.Probe != 42*time.Nanosecond {
+		t.Errorf("meta visit wrong: %+v", m)
+	}
+	if len(s.Events) != s.NumEvents || s.NumEvents == 0 {
+		t.Errorf("events = %d, numEvents = %d", len(s.Events), s.NumEvents)
+	}
+	out := s.Render()
+	for _, want := range []string{"query plan:", "ppo", "frontier pops"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceEventCap(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.Pop(int64(i), int32(i))
+	}
+	s := tr.Summary(true)
+	if s.Pops != 10 {
+		t.Errorf("pops = %d, want 10 (aggregates ignore the cap)", s.Pops)
+	}
+	if len(s.Events) != 4 || s.Skipped != 6 {
+		t.Errorf("events = %d skipped = %d, want 4 / 6", len(s.Events), s.Skipped)
+	}
+	if !strings.Contains(s.Render(), "beyond the 4-event cap") {
+		t.Error("Render() does not report skipped events")
+	}
+}

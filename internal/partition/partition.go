@@ -14,6 +14,7 @@ package partition
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/xmlgraph"
 )
@@ -31,6 +32,16 @@ type Result struct {
 	// excluded; TreePartitions additionally excludes intra-part links
 	// that would break the forest property.
 	IncludedLinks []bool
+	// Elapsed is the wall time the partitioning took; every public entry
+	// point stamps it for the build-phase statistics
+	// (flix.Index.BuildStats).
+	Elapsed time.Duration
+}
+
+// track stamps r.Elapsed with the time since t0 and returns r.
+func track(r *Result, t0 time.Time) *Result {
+	r.Elapsed = time.Since(t0)
+	return r
 }
 
 // newResult allocates a Result for a collection.
@@ -63,6 +74,7 @@ func (r *Result) finishIncluded(c *xmlgraph.Collection) {
 // Singleton puts every document into its own part, keeping intra-document
 // links — the "Naive" configuration.
 func Singleton(c *xmlgraph.Collection) *Result {
+	t0 := time.Now()
 	r := newResult(c)
 	r.Parts = make([][]xmlgraph.DocID, c.NumDocs())
 	for d := 0; d < c.NumDocs(); d++ {
@@ -70,13 +82,14 @@ func Singleton(c *xmlgraph.Collection) *Result {
 		r.PartOf[d] = int32(d)
 	}
 	r.finishIncluded(c)
-	return r
+	return track(r, t0)
 }
 
 // Whole puts the entire collection into a single part with all links
 // included — used to run a monolithic index (full HOPI, full APEX) through
 // the same machinery as the FliX configurations.
 func Whole(c *xmlgraph.Collection) *Result {
+	t0 := time.Now()
 	r := newResult(c)
 	docs := make([]xmlgraph.DocID, c.NumDocs())
 	for d := range docs {
@@ -86,7 +99,7 @@ func Whole(c *xmlgraph.Collection) *Result {
 	for i := range r.IncludedLinks {
 		r.IncludedLinks[i] = true
 	}
-	return r
+	return track(r, t0)
 }
 
 // TreePartitions computes the Maximal PPO partitioning (§4.3, option 2):
@@ -103,6 +116,7 @@ func Whole(c *xmlgraph.Collection) *Result {
 // form singleton parts whose intra-document links stay included only if the
 // caller indexes them with a graph-capable strategy.
 func TreePartitions(c *xmlgraph.Collection) *Result {
+	t0 := time.Now()
 	r := newResult(c)
 	nDocs := c.NumDocs()
 	treeCapable := make([]bool, nDocs)
@@ -182,7 +196,7 @@ func TreePartitions(c *xmlgraph.Collection) *Result {
 			r.IncludedLinks[i] = true
 		}
 	}
-	return r
+	return track(r, t0)
 }
 
 // SizeBounded computes the Unconnected HOPI partitioning (§4.3): document
@@ -193,6 +207,7 @@ func TreePartitions(c *xmlgraph.Collection) *Result {
 //
 // Documents larger than maxNodes form their own part.
 func SizeBounded(c *xmlgraph.Collection, maxNodes int) *Result {
+	t0 := time.Now()
 	if maxNodes <= 0 {
 		maxNodes = 1 << 30
 	}
@@ -281,7 +296,7 @@ func SizeBounded(c *xmlgraph.Collection, maxNodes int) *Result {
 		partIdx++
 	}
 	r.finishIncluded(c)
-	return r
+	return track(r, t0)
 }
 
 // Hybrid combines Maximal PPO with Unconnected HOPI (§4.3): tree-capable
@@ -291,8 +306,9 @@ func SizeBounded(c *xmlgraph.Collection, maxNodes int) *Result {
 // linked regions are better served by HOPI.  The returned Result contains
 // the tree parts first, then the size-bounded parts.
 func Hybrid(c *xmlgraph.Collection, maxNodes, minTreeDocs int) *Result {
+	t0 := time.Now()
 	trees, rest := hybridSplit(c, maxNodes, minTreeDocs)
-	return merge(c, trees, rest)
+	return track(merge(c, trees, rest), t0)
 }
 
 func hybridSplit(c *xmlgraph.Collection, maxNodes, minTreeDocs int) (trees, rest *Result) {

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/flix"
+	"repro/internal/obs"
 	"repro/internal/ontology"
 	"repro/internal/xmlgraph"
 )
@@ -50,6 +51,10 @@ type Evaluator struct {
 	// checked between frontier expansions, so Evaluate returns promptly
 	// with the matches ranked so far.
 	Cancel <-chan struct{}
+	// Tracer, when non-nil, records every underlying index scan of the
+	// evaluation into one trace (the //-step descendant scans and the
+	// InverseScore ancestor scans alike).  Nil costs nothing.
+	Tracer *obs.Trace
 }
 
 func (e *Evaluator) canceled() bool {
@@ -232,7 +237,7 @@ func (e *Evaluator) advance(frontier map[xmlgraph.NodeID]Match, s Step) map[xmlg
 				})
 				continue
 			}
-			opts := flix.Options{MaxDist: e.maxDistFor(base), Cancel: e.Cancel}
+			opts := flix.Options{MaxDist: e.maxDistFor(base), Cancel: e.Cancel, Tracer: e.Tracer}
 			e.Index.Descendants(m.Node, wt.Tag, opts, func(r flix.Result) bool {
 				score := base
 				if r.Dist > 1 {
@@ -246,7 +251,7 @@ func (e *Evaluator) advance(frontier map[xmlgraph.NodeID]Match, s Step) map[xmlg
 				if invBase < e.minScore() {
 					continue
 				}
-				invOpts := flix.Options{MaxDist: e.maxDistFor(invBase), Cancel: e.Cancel}
+				invOpts := flix.Options{MaxDist: e.maxDistFor(invBase), Cancel: e.Cancel, Tracer: e.Tracer}
 				e.Index.Ancestors(m.Node, wt.Tag, invOpts, func(r flix.Result) bool {
 					score := invBase
 					if r.Dist > 1 {

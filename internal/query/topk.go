@@ -153,7 +153,7 @@ func (e *Evaluator) newStream(from Match, tag string, base float64) *resultStrea
 func (s *resultStream) next() bool {
 	if !s.fetched {
 		s.fetched = true
-		s.e.Index.Descendants(s.from.Node, s.tag, flix.Options{MaxDist: s.maxDist, Cancel: s.e.Cancel},
+		s.e.Index.Descendants(s.from.Node, s.tag, flix.Options{MaxDist: s.maxDist, Cancel: s.e.Cancel, Tracer: s.e.Tracer},
 			func(r flix.Result) bool {
 				s.buf = append(s.buf, r)
 				return true

@@ -2,8 +2,12 @@ package server
 
 import (
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
+	"strconv"
+
+	"repro/internal/obs"
 )
 
 // handleMetrics renders the serving and engine counters in the Prometheus
@@ -31,6 +35,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# TYPE flix_client_errors_total counter\n")
 	p("flix_client_errors_total %d\n", s.clientErrors.Load())
 
+	p("# HELP flix_slow_queries_total Requests slower than the slow-query threshold.\n")
+	p("# TYPE flix_slow_queries_total counter\n")
+	p("flix_slow_queries_total %d\n", s.slowQueries.Load())
+
+	p("# HELP flix_request_duration_seconds Query latency by endpoint.\n")
+	p("# TYPE flix_request_duration_seconds histogram\n")
+	for _, ep := range sortedKeys(s.latency) {
+		writeHistogram(p, "flix_request_duration_seconds", "endpoint", ep, s.latency[ep].Snapshot())
+	}
+
+	p("# HELP flix_strategy_request_duration_seconds Query latency by the indexing strategy of the start node's meta document.\n")
+	p("# TYPE flix_strategy_request_duration_seconds histogram\n")
+	for _, st := range sortedKeys(s.stratLatency) {
+		writeHistogram(p, "flix_strategy_request_duration_seconds", "strategy", st, s.stratLatency[st].Snapshot())
+	}
+
 	p("# HELP flix_inflight_requests Queries currently evaluating.\n")
 	p("# TYPE flix_inflight_requests gauge\n")
 	p("flix_inflight_requests %d\n", s.InFlight())
@@ -39,9 +59,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# HELP flix_engine_queries_total Completed index evaluations.\n")
 	p("# TYPE flix_engine_queries_total counter\n")
 	p("flix_engine_queries_total %d\n", snap.Queries)
+	p("# HELP flix_engine_pops_total Priority-queue pops in the evaluator.\n")
+	p("# TYPE flix_engine_pops_total counter\n")
+	p("flix_engine_pops_total %d\n", snap.Pops)
 	p("# HELP flix_engine_entries_total Meta-document entry points processed.\n")
 	p("# TYPE flix_engine_entries_total counter\n")
 	p("flix_engine_entries_total %d\n", snap.Entries)
+	p("# HELP flix_engine_dup_dropped_total Frontier entries dropped as already covered.\n")
+	p("# TYPE flix_engine_dup_dropped_total counter\n")
+	p("flix_engine_dup_dropped_total %d\n", snap.DupDropped)
 	p("# HELP flix_engine_link_hops_total Runtime link traversals.\n")
 	p("# TYPE flix_engine_link_hops_total counter\n")
 	p("flix_engine_link_hops_total %d\n", snap.LinkHops)
@@ -80,4 +106,51 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, n := range names {
 		p("flix_index_strategy_meta_documents{strategy=%q} %d\n", n, counts[n])
 	}
+
+	bs := s.ix.BuildStats()
+	p("# HELP flix_build_partition_seconds Build phase: meta-document partitioning time.\n")
+	p("# TYPE flix_build_partition_seconds gauge\n")
+	p("flix_build_partition_seconds %s\n", formatFloat(bs.Partition.Seconds()))
+	p("# HELP flix_build_select_seconds Build phase: summed strategy-selection time.\n")
+	p("# TYPE flix_build_select_seconds gauge\n")
+	p("flix_build_select_seconds %s\n", formatFloat(bs.Select.Seconds()))
+	p("# HELP flix_build_index_seconds Build phase: wall time of index construction.\n")
+	p("# TYPE flix_build_index_seconds gauge\n")
+	p("flix_build_index_seconds %s\n", formatFloat(bs.IndexBuild.Seconds()))
+	p("# HELP flix_build_strategy_seconds Build phase: summed index construction time per strategy.\n")
+	p("# TYPE flix_build_strategy_seconds gauge\n")
+	for _, n := range sortedKeys(bs.Strategies) {
+		p("flix_build_strategy_seconds{strategy=%q} %s\n", n, formatFloat(bs.Strategies[n].Total.Seconds()))
+	}
+}
+
+// writeHistogram renders one obs histogram as a Prometheus histogram series
+// with a single label: cumulative _bucket lines, then _sum and _count.
+func writeHistogram(p func(string, ...any), name, label, value string, sn obs.HistSnapshot) {
+	for _, bc := range sn.ExpositionBuckets() {
+		le := "+Inf"
+		if !math.IsInf(bc.Le, 1) {
+			le = formatFloat(bc.Le)
+		}
+		p("%s_bucket{%s=%q,le=%q} %d\n", name, label, value, le, bc.Count)
+	}
+	p("%s_sum{%s=%q} %s\n", name, label, value, formatFloat(sn.Sum().Seconds()))
+	p("%s_count{%s=%q} %d\n", name, label, value, sn.Count)
+}
+
+// formatFloat renders a float the way Prometheus expects (shortest exact
+// decimal/scientific form).
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// sortedKeys returns the map's keys in sorted order, for a deterministic
+// exposition.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }

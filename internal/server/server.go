@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/flix"
+	"repro/internal/obs"
 	"repro/internal/ontology"
 	"repro/internal/query"
 	"repro/internal/xmlgraph"
@@ -59,9 +60,21 @@ type Config struct {
 	// (number of distinct cached queries).  Default 1024; negative
 	// disables the cache.
 	CacheSize int
-	// Logger receives one access-log line per request.  Nil disables
-	// access logging.
+	// Logger receives one access-log line per request and the slow-query
+	// log.  Nil disables both.
 	Logger *log.Logger
+	// SlowQueryThreshold enables the slow-query log: sampled query
+	// requests that evaluate longer than this are logged with their full
+	// trace summary.  0 disables.
+	SlowQueryThreshold time.Duration
+	// SlowQuerySample traces 1 in N admitted query requests for the
+	// slow-query log (1 = trace every request).  Sampling keeps the
+	// tracing overhead off most requests while still catching recurring
+	// offenders.  Default 1.
+	SlowQuerySample int
+	// TraceEventLimit caps the raw event list of each request trace
+	// (?trace=1 and slow-query tracing).  Default obs.DefaultEventLimit.
+	TraceEventLimit int
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +96,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize == 0 {
 		c.CacheSize = 1024
 	}
+	if c.SlowQuerySample <= 0 {
+		c.SlowQuerySample = 1
+	}
 	return c
 }
 
@@ -97,6 +113,14 @@ type Server struct {
 	sem     chan struct{}
 	started time.Time
 
+	// latency holds one lock-free histogram per query endpoint;
+	// stratLatency one per indexing strategy present in the index (the
+	// request is attributed to the strategy serving its start node's meta
+	// document).  Both maps are built in New and read-only afterwards, so
+	// concurrent handler access needs no lock.
+	latency      map[string]*obs.Histogram
+	stratLatency map[string]*obs.Histogram
+
 	// Serving counters (engine-level counters live in ix.Stats()).
 	reqDescendants atomic.Int64
 	reqConnected   atomic.Int64
@@ -104,6 +128,12 @@ type Server struct {
 	shed           atomic.Int64
 	timeouts       atomic.Int64
 	clientErrors   atomic.Int64
+	slowQueries    atomic.Int64
+
+	// reqSeq numbers requests for the X-Flix-Request-Id header; slowSeq
+	// counts admitted requests for slow-query trace sampling.
+	reqSeq  atomic.Uint64
+	slowSeq atomic.Uint64
 
 	// queryHook, when set, runs after admission and before evaluation.
 	// It is a test seam for saturating the semaphore deterministically.
@@ -120,6 +150,15 @@ func New(ix *flix.Index, cfg Config) *Server {
 		cfg:     cfg,
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 		started: time.Now(),
+		latency: map[string]*obs.Histogram{
+			"descendants": new(obs.Histogram),
+			"connected":   new(obs.Histogram),
+			"query":       new(obs.Histogram),
+		},
+		stratLatency: make(map[string]*obs.Histogram),
+	}
+	for name := range ix.StrategyCounts() {
+		s.stratLatency[name] = new(obs.Histogram)
 	}
 	if cfg.CacheSize > 0 {
 		s.cache = ix.NewQueryCache(cfg.CacheSize)
@@ -136,23 +175,59 @@ func (s *Server) SetOntology(o *ontology.Ontology) { s.onto = o }
 func (s *Server) InFlight() int { return len(s.sem) }
 
 // Handler returns the server's HTTP handler: the API mux wrapped in the
-// access-logging middleware.
+// request-ID and access-logging middlewares (the ID middleware is
+// outermost so every log line and response carries an ID).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/v1/descendants", s.admit(&s.reqDescendants, s.handleDescendants))
-	mux.HandleFunc("/v1/connected", s.admit(&s.reqConnected, s.handleConnected))
-	mux.HandleFunc("/v1/query", s.admit(&s.reqQuery, s.handleQuery))
-	return s.logged(mux)
+	mux.HandleFunc("/v1/descendants", s.admit("descendants", &s.reqDescendants, s.handleDescendants))
+	mux.HandleFunc("/v1/connected", s.admit("connected", &s.reqConnected, s.handleConnected))
+	mux.HandleFunc("/v1/query", s.admit("query", &s.reqQuery, s.handleQuery))
+	return s.withRequestID(s.logged(mux))
 }
 
-// admit wraps a query handler with the admission semaphore and the
-// per-request deadline.  When the in-flight limit is hit the request is
-// shed immediately with 429 — shedding beats queueing under overload
-// because a queued query's deadline keeps ticking while it waits.
-func (s *Server) admit(counter *atomic.Int64, h func(http.ResponseWriter, *http.Request, context.Context)) http.HandlerFunc {
+// reqInfo is the per-request observability state, carried in the request
+// context from the ID middleware through admission into the handler.
+type reqInfo struct {
+	id          string
+	endpoint    string
+	strategy    string     // set by the handler once the start node is known
+	trace       *obs.Trace // non-nil when traced (?trace=1 or slow-query sample)
+	traceWanted bool       // client asked for the trace in the response
+}
+
+type ctxKey int
+
+const reqInfoKey ctxKey = 0
+
+// reqInfoFrom returns the request's reqInfo.  The fallback covers handlers
+// invoked without the middleware (direct tests); it keeps nil-checks out of
+// every call site.
+func reqInfoFrom(ctx context.Context) *reqInfo {
+	if ri, ok := ctx.Value(reqInfoKey).(*reqInfo); ok {
+		return ri
+	}
+	return &reqInfo{}
+}
+
+// withRequestID assigns each request a short unique ID, exposed as the
+// X-Flix-Request-Id response header and carried in the context so the
+// access log and the slow-query log can correlate their lines.
+func (s *Server) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ri := &reqInfo{id: fmt.Sprintf("%08x", s.reqSeq.Add(1))}
+		w.Header().Set("X-Flix-Request-Id", ri.id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), reqInfoKey, ri)))
+	})
+}
+
+// admit wraps a query handler with the admission semaphore, the per-request
+// deadline, and the latency observation.  When the in-flight limit is hit
+// the request is shed immediately with 429 — shedding beats queueing under
+// overload because a queued query's deadline keeps ticking while it waits.
+func (s *Server) admit(endpoint string, counter *atomic.Int64, h func(http.ResponseWriter, *http.Request, context.Context)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		counter.Add(1)
 		select {
@@ -172,9 +247,53 @@ func (s *Server) admit(counter *atomic.Int64, h func(http.ResponseWriter, *http.
 			s.fail(w, http.StatusBadRequest, err.Error())
 			return
 		}
+		ri := reqInfoFrom(r.Context())
+		ri.endpoint = endpoint
+		ri.traceWanted = boolParam(r.URL.Query().Get("trace"))
+		if ri.traceWanted || s.sampleSlow() {
+			ri.trace = obs.NewTrace(s.cfg.TraceEventLimit)
+		}
 		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
+		t0 := time.Now()
 		h(w, r, ctx)
+		s.observe(ri, time.Since(t0))
+	}
+}
+
+// sampleSlow reports whether this admitted request should carry a trace for
+// the slow-query log: 1 in SlowQuerySample requests while a threshold is
+// configured.
+func (s *Server) sampleSlow() bool {
+	if s.cfg.SlowQueryThreshold <= 0 {
+		return false
+	}
+	return s.slowSeq.Add(1)%uint64(s.cfg.SlowQuerySample) == 0
+}
+
+// observe records one finished request into the per-endpoint and
+// per-strategy latency histograms and, past the threshold, the slow-query
+// log.
+func (s *Server) observe(ri *reqInfo, elapsed time.Duration) {
+	if h := s.latency[ri.endpoint]; h != nil {
+		h.Observe(elapsed)
+	}
+	if ri.strategy != "" {
+		if h := s.stratLatency[ri.strategy]; h != nil {
+			h.Observe(elapsed)
+		}
+	}
+	if s.cfg.SlowQueryThreshold > 0 && elapsed >= s.cfg.SlowQueryThreshold {
+		s.slowQueries.Add(1)
+		if ri.trace != nil && s.cfg.Logger != nil {
+			sum := ri.trace.Summary(false)
+			b, err := json.Marshal(sum)
+			if err != nil {
+				b = []byte("{}")
+			}
+			s.cfg.Logger.Printf("slow-query id=%s endpoint=%s strategy=%s elapsed=%s trace=%s",
+				ri.id, ri.endpoint, ri.strategy, elapsed.Round(time.Microsecond), b)
+		}
 	}
 }
 
@@ -287,12 +406,15 @@ func (s *Server) handleDescendants(w http.ResponseWriter, r *http.Request, ctx c
 		s.fail(w, http.StatusBadRequest, "bad maxdist: "+err.Error())
 		return
 	}
+	ri := reqInfoFrom(ctx)
+	ri.strategy = s.ix.StrategyAt(start)
 	opts := flix.Options{
 		MaxResults:  k,
 		MaxDist:     int32(maxDist),
 		IncludeSelf: boolParam(q.Get("self")),
 		ExactOrder:  q.Get("order") == "exact",
 		Cancel:      ctx.Done(),
+		Tracer:      ri.trace,
 	}
 	results := make([]nodeJSON, 0, 16)
 	emit := func(res flix.Result) bool {
@@ -308,11 +430,15 @@ func (s *Server) handleDescendants(w http.ResponseWriter, r *http.Request, ctx c
 	if timedOut {
 		s.timeouts.Add(1)
 	}
-	s.ok(w, map[string]any{
+	resp := map[string]any{
 		"results":  results,
 		"count":    len(results),
 		"timedOut": timedOut,
-	})
+	}
+	if ri.traceWanted && ri.trace != nil {
+		resp["trace"] = ri.trace.Summary(true)
+	}
+	s.ok(w, resp)
 }
 
 // handleConnected answers GET /v1/connected?from=<doc|node>&to=<doc|node>
@@ -334,7 +460,9 @@ func (s *Server) handleConnected(w http.ResponseWriter, r *http.Request, ctx con
 		s.fail(w, http.StatusBadRequest, "bad maxdist: "+err.Error())
 		return
 	}
-	dist, ok := s.ix.ConnectedOpts(from, to, flix.Options{MaxDist: int32(maxDist), Cancel: ctx.Done()})
+	ri := reqInfoFrom(ctx)
+	ri.strategy = s.ix.StrategyAt(from)
+	dist, ok := s.ix.ConnectedOpts(from, to, flix.Options{MaxDist: int32(maxDist), Cancel: ctx.Done(), Tracer: ri.trace})
 	timedOut := expired(ctx)
 	if timedOut {
 		s.timeouts.Add(1)
@@ -365,11 +493,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, ctx context
 		s.fail(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	ri := reqInfoFrom(ctx)
 	eval := &query.Evaluator{
 		Index:      s.ix,
 		Ontology:   s.onto,
 		MaxResults: k,
 		Cancel:     ctx.Done(),
+		Tracer:     ri.trace,
 	}
 	matches := eval.EvaluateTopK(pq, k)
 	timedOut := expired(ctx)
@@ -389,11 +519,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, ctx context
 			PathLen:  m.PathLen,
 		})
 	}
-	s.ok(w, map[string]any{
+	resp := map[string]any{
 		"results":  out,
 		"count":    len(out),
 		"timedOut": timedOut,
-	})
+	}
+	if ri.traceWanted && ri.trace != nil {
+		resp["trace"] = ri.trace.Summary(true)
+	}
+	s.ok(w, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -417,13 +551,18 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			"strategies":    s.ix.StrategyCounts(),
 		},
 		"queryStats": map[string]any{
-			"queries":         snap.Queries,
-			"entries":         snap.Entries,
-			"linkHops":        snap.LinkHops,
-			"results":         snap.Results,
-			"entriesPerQuery": snap.EntriesPerQuery(),
+			"queries":          snap.Queries,
+			"pops":             snap.Pops,
+			"entries":          snap.Entries,
+			"dupDropped":       snap.DupDropped,
+			"linkHops":         snap.LinkHops,
+			"results":          snap.Results,
+			"entriesPerQuery":  snap.EntriesPerQuery(),
 			"linkHopsPerQuery": snap.LinkHopsPerQuery(),
+			"dupDropRatio":     snap.DupDropRatio(),
 		},
+		"latency": s.latencyJSON(),
+		"build":   buildJSON(s.ix.BuildStats()),
 		"advice": map[string]any{
 			"rebuild": advice.Rebuild,
 			"reason":  advice.Reason,
@@ -433,6 +572,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			"maxInFlight": s.cfg.MaxInFlight,
 			"shed":        s.shed.Load(),
 			"timeouts":    s.timeouts.Load(),
+			"slowQueries": s.slowQueries.Load(),
 			"requests": map[string]int64{
 				"descendants": s.reqDescendants.Load(),
 				"connected":   s.reqConnected.Load(),
@@ -456,6 +596,50 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.ok(w, resp)
+}
+
+// latencyJSON summarizes the per-endpoint and per-strategy latency
+// histograms for /statsz.
+func (s *Server) latencyJSON() map[string]any {
+	summ := func(hs map[string]*obs.Histogram) map[string]any {
+		out := make(map[string]any, len(hs))
+		for name, h := range hs {
+			sn := h.Snapshot()
+			if sn.Count == 0 {
+				continue
+			}
+			out[name] = map[string]any{
+				"count": sn.Count,
+				"mean":  sn.Mean().Round(time.Microsecond).String(),
+				"p50":   sn.Quantile(0.50).Round(time.Microsecond).String(),
+				"p95":   sn.Quantile(0.95).Round(time.Microsecond).String(),
+				"p99":   sn.Quantile(0.99).Round(time.Microsecond).String(),
+			}
+		}
+		return out
+	}
+	return map[string]any{
+		"endpoints":  summ(s.latency),
+		"strategies": summ(s.stratLatency),
+	}
+}
+
+// buildJSON renders the build-phase timings for /statsz.
+func buildJSON(bs flix.BuildStats) map[string]any {
+	strategies := make(map[string]any, len(bs.Strategies))
+	for name, sb := range bs.Strategies {
+		strategies[name] = map[string]any{
+			"metaDocuments": sb.Metas,
+			"total":         sb.Total.Round(time.Microsecond).String(),
+			"max":           sb.Max.Round(time.Microsecond).String(),
+		}
+	}
+	return map[string]any{
+		"partition":  bs.Partition.Round(time.Microsecond).String(),
+		"select":     bs.Select.Round(time.Microsecond).String(),
+		"indexBuild": bs.IndexBuild.Round(time.Microsecond).String(),
+		"strategies": strategies,
+	}
 }
 
 // ok writes a 200 JSON response.
@@ -496,7 +680,8 @@ func (s *Server) logged(next http.Handler) http.Handler {
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		t0 := time.Now()
 		next.ServeHTTP(sw, r)
-		s.cfg.Logger.Printf("%s %s %d %s", r.Method, r.URL.RequestURI(), sw.status, time.Since(t0).Round(time.Microsecond))
+		s.cfg.Logger.Printf("id=%s %s %s %d %s", reqInfoFrom(r.Context()).id,
+			r.Method, r.URL.RequestURI(), sw.status, time.Since(t0).Round(time.Microsecond))
 	})
 }
 

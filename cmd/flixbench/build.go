@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/dblp"
+	"repro/internal/flix"
+)
+
+// buildRun is one measured build at a fixed worker-pool width.
+type buildRun struct {
+	Parallelism int   `json:"parallelism"`
+	WallNs      int64 `json:"wallNs"`
+	// Speedup is serial wall-clock over this run's wall-clock.
+	Speedup float64 `json:"speedup"`
+	// IndexSHA256 fingerprints the serialized index; every run must
+	// report the serial run's hash (the determinism guarantee).
+	IndexSHA256       string `json:"indexSha256"`
+	IdenticalToSerial bool   `json:"identicalToSerial"`
+}
+
+// buildResult is the machine-readable record of the build experiment,
+// written to BENCH_build.json so CI and EXPERIMENTS.md can track the
+// parallel build pipeline's scaling and its determinism guarantee.
+type buildResult struct {
+	Experiment string `json:"experiment"`
+	Config     string `json:"config"`
+	Docs       int    `json:"docs"`
+	Elements   int    `json:"elements"`
+	MetaDocs   int    `json:"metaDocuments"`
+	// CPUs is runtime.NumCPU on the measuring machine — speedups are
+	// bounded by it, so a 1-CPU container cannot show parallel gains.
+	CPUs int        `json:"cpus"`
+	Runs []buildRun `json:"runs"`
+	// QueryResultsIdentical confirms the start//article result stream
+	// (nodes, distances, order) is byte-identical across all runs.
+	QueryResultsIdentical bool `json:"queryResultsIdentical"`
+}
+
+// buildExperiment measures the parallel index-build pipeline: wall-clock at
+// increasing worker-pool widths over the generated DBLP collection, with
+// byte-identical serialized indexes and query results across all widths.
+func buildExperiment(docs int, seed int64, out string) {
+	fmt.Println("=== Build: parallel index-construction pipeline ===")
+	p := dblp.DefaultParams()
+	p.Docs = docs
+	p.Seed = seed
+	e := bench.NewExperiment(p)
+	// Size-bounded HOPI partitions: many similar-sized graph-shaped meta
+	// documents, the configuration whose build has the most independent
+	// work to spread across the pool.
+	cfg := flix.Config{Kind: flix.UnconnectedHOPI, PartitionSize: 2000}
+
+	widths := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		widths = append(widths, n)
+	}
+
+	r := buildResult{
+		Experiment:            "build",
+		Config:                fmt.Sprintf("%s/%d", cfg.Kind, cfg.PartitionSize),
+		Docs:                  e.Coll.NumDocs(),
+		Elements:              e.Coll.NumNodes(),
+		CPUs:                  runtime.NumCPU(),
+		QueryResultsIdentical: true,
+	}
+
+	var serialWall time.Duration
+	var serialSHA, serialResults string
+	for _, w := range widths {
+		// Warm-up pass (page cache, allocator), then the measured pass.
+		if _, err := flix.BuildWithOptions(e.Coll, cfg, flix.BuildOptions{Parallelism: w}); err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		ix, err := flix.BuildWithOptions(e.Coll, cfg, flix.BuildOptions{Parallelism: w})
+		if err != nil {
+			log.Fatal(err)
+		}
+		wall := time.Since(t0)
+		sha := indexSHA(ix)
+		results := queryDigest(ix, e)
+		run := buildRun{Parallelism: w, WallNs: wall.Nanoseconds(), IndexSHA256: sha}
+		if w == widths[0] {
+			serialWall, serialSHA, serialResults = wall, sha, results
+			r.MetaDocs = ix.NumMetaDocuments()
+		}
+		run.Speedup = float64(serialWall) / float64(wall)
+		run.IdenticalToSerial = sha == serialSHA
+		if !run.IdenticalToSerial {
+			log.Fatalf("parallelism %d produced a different index than the serial build", w)
+		}
+		if results != serialResults {
+			r.QueryResultsIdentical = false
+			log.Fatalf("parallelism %d produced different query results than the serial build", w)
+		}
+		r.Runs = append(r.Runs, run)
+		fmt.Printf("parallelism %2d: build %10s  speedup %.2fx  (%s)\n",
+			w, wall.Round(time.Millisecond), run.Speedup, ix.BuildStats())
+	}
+	fmt.Printf("%d meta documents, %d CPUs; indexes and query results byte-identical across widths\n\n",
+		r.MetaDocs, r.CPUs)
+
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", out)
+}
+
+// indexSHA fingerprints the serialized index.
+func indexSHA(ix *flix.Index) string {
+	h := sha256.New()
+	if _, err := ix.WriteTo(h); err != nil {
+		log.Fatal(err)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// queryDigest renders the full start//article result stream — node IDs,
+// distances and their order — into a hashable byte form.
+func queryDigest(ix *flix.Index, e *bench.Experiment) string {
+	var buf bytes.Buffer
+	ix.Descendants(e.Start, "article", flix.Options{}, func(r flix.Result) bool {
+		fmt.Fprintf(&buf, "%d:%d;", r.Node, r.Dist)
+		return true
+	})
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:])
+}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	flixbench [-docs 6210] [-seed 42] [-exp all|table1|figure5|errors|conn|scale|hetero|serving]
+//	flixbench [-docs 6210] [-seed 42] [-exp all|table1|figure5|errors|conn|scale|hetero|serving|build]
 //
 // The scale and hetero experiments go beyond the paper's evaluation and
 // cover its §7 future work: scalability with growing collections and
@@ -32,10 +32,11 @@ func main() {
 	log.SetPrefix("flixbench: ")
 	docs := flag.Int("docs", 6210, "number of publication documents (paper: 6210)")
 	seed := flag.Int64("seed", 42, "generator seed")
-	exp := flag.String("exp", "all", "experiment: all | table1 | figure5 | errors | conn | scale | hetero | serving")
+	exp := flag.String("exp", "all", "experiment: all | table1 | figure5 | errors | conn | scale | hetero | serving | build")
 	pairs := flag.Int("pairs", 200, "connection-test pairs")
 	closure := flag.Bool("closure", false, "also build the full transitive closure as the Table 1 size reference (slow)")
 	servingOut := flag.String("serving-out", "BENCH_serving.json", "output file for the serving experiment's machine-readable results")
+	buildOut := flag.String("build-out", "BENCH_build.json", "output file for the build experiment's machine-readable results")
 	flag.Parse()
 
 	run := map[string]bool{}
@@ -56,6 +57,9 @@ func main() {
 	}
 	if run["serving"] {
 		servingExperiment(*docs, *seed, *servingOut)
+	}
+	if run["build"] {
+		buildExperiment(*docs, *seed, *buildOut)
 	}
 	if !run["table1"] && !run["figure5"] && !run["errors"] && !run["conn"] {
 		return

@@ -5,8 +5,9 @@
 // Usage:
 //
 //	flixd -dir ./docs [-addr :8080] [-load index.flix] [-config hybrid]
-//	      [-ontology tags.txt] [-inflight 64] [-timeout 2s] [-cache 1024]
-//	      [-slow-query 100ms] [-slow-query-sample 10] [-debug-addr :6060]
+//	      [-build-parallelism 0] [-ontology tags.txt] [-inflight 64]
+//	      [-timeout 2s] [-cache 1024] [-slow-query 100ms]
+//	      [-slow-query-sample 10] [-debug-addr :6060]
 //
 // Endpoints (see internal/server):
 //
@@ -45,6 +46,7 @@ func main() {
 		config   = flag.String("config", "hybrid", "configuration: naive | maximal-ppo | unconnected-hopi | hybrid | monolithic")
 		partSize = flag.Int("partition", 5000, "partition size bound for unconnected-hopi / hybrid")
 		strategy = flag.String("strategy", "", "force a per-meta-document strategy: ppo | hopi | apex | tc")
+		buildPar = flag.Int("build-parallelism", 0, "index-build worker pool width (0 = all CPUs, 1 = serial)")
 		ontoFile = flag.String("ontology", "", "ontology file with 'tagA tagB score' lines for ~ expansion")
 		inflight = flag.Int("inflight", 64, "admission limit: concurrent queries before 429 shedding")
 		timeout  = flag.Duration("timeout", 2*time.Second, "default per-request deadline")
@@ -105,11 +107,11 @@ func main() {
 		default:
 			log.Fatalf("unknown configuration %q", *config)
 		}
-		ix, err = flix.Build(coll, cfg)
+		ix, err = flix.BuildWithOptions(coll, cfg, flix.BuildOptions{Parallelism: *buildPar})
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("index built in %s", time.Since(t0).Round(time.Millisecond))
+		log.Printf("index built in %s (%s)", time.Since(t0).Round(time.Millisecond), ix.BuildStats())
 	}
 	log.Print(ix.Describe())
 

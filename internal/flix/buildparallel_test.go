@@ -1,0 +1,178 @@
+package flix
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/xmlgraph"
+)
+
+// serializeIndex renders an index to its persisted byte form — the
+// strictest equality notion the framework has.
+func serializeIndex(t testing.TB, ix *Index) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestBuildWithOptionsDeterministic verifies the parallel build pipeline's
+// determinism guarantee across configurations: for every parallelism level
+// the built index serializes byte-identically to the serial build and
+// answers queries identically, and the merged per-worker statistics stay
+// consistent with the meta-document count.
+func TestBuildWithOptionsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := xmlgraph.RandomCollection(rng, 30, 60, 80)
+	configs := []Config{
+		{Kind: Naive},
+		{Kind: Hybrid, PartitionSize: 200},
+		{Kind: UnconnectedHOPI, PartitionSize: 200},
+		{Kind: Monolithic, Strategy: "hopi-dc"},
+		{Kind: ElementLevel, PartitionSize: 150},
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.Kind.String()+"/"+cfg.Strategy, func(t *testing.T) {
+			serialIx, err := BuildWithOptions(c, cfg, BuildOptions{Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial := serializeIndex(t, serialIx)
+			wantResults := collectDescendants(serialIx, 0, "b")
+			for _, p := range []int{2, 4, 8} {
+				ix, err := BuildWithOptions(c, cfg, BuildOptions{Parallelism: p})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := serializeIndex(t, ix); !bytes.Equal(serial, got) {
+					t.Fatalf("parallelism %d: serialized index differs from serial build (%d vs %d bytes)",
+						p, len(got), len(serial))
+				}
+				if got := collectDescendants(ix, 0, "b"); !equalResults(got, wantResults) {
+					t.Fatalf("parallelism %d: query results differ from serial build", p)
+				}
+				bs := ix.BuildStats()
+				if bs.Parallelism != p {
+					t.Errorf("parallelism %d: BuildStats.Parallelism = %d", p, bs.Parallelism)
+				}
+				workerMetas := 0
+				for _, wb := range bs.Workers {
+					workerMetas += wb.Metas
+				}
+				if workerMetas != ix.NumMetaDocuments() {
+					t.Errorf("parallelism %d: workers report %d meta documents, index has %d",
+						p, workerMetas, ix.NumMetaDocuments())
+				}
+				stratMetas := 0
+				for _, sb := range bs.Strategies {
+					stratMetas += sb.Metas
+				}
+				if stratMetas != ix.NumMetaDocuments() {
+					t.Errorf("parallelism %d: strategy stats cover %d meta documents, index has %d",
+						p, stratMetas, ix.NumMetaDocuments())
+				}
+			}
+		})
+	}
+}
+
+func collectDescendants(ix *Index, start xmlgraph.NodeID, tag string) []Result {
+	var out []Result
+	ix.Descendants(start, tag, Options{}, func(r Result) bool {
+		out = append(out, r)
+		return true
+	})
+	return out
+}
+
+func equalResults(a, b []Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelBuildDuringQueries is the concurrency regression test for the
+// build pipeline: a parallel Build must not interfere with queries
+// streaming against a previously built (immutable) index.  Results must
+// stay identical and the traced counters (Pops, DupDropped) must advance by
+// exactly the per-query amounts measured in isolation.
+func TestParallelBuildDuringQueries(t *testing.T) {
+	c, start := buildChain(t, 40)
+	ix, err := Build(c, Config{Kind: Hybrid, PartitionSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := collectDescendants(ix, start, "item")
+
+	// Measure the exact per-query counter deltas in isolation.
+	before := ix.Stats().Snapshot()
+	collectDescendants(ix, start, "item")
+	after := ix.Stats().Snapshot()
+	popsPerQuery := after.Pops - before.Pops
+	dupPerQuery := after.DupDropped - before.DupDropped
+	if popsPerQuery <= 0 {
+		t.Fatalf("query performed %d pops; the fixture should exercise the frontier", popsPerQuery)
+	}
+
+	// Another collection to (re)build in parallel while queries stream.
+	rng := rand.New(rand.NewSource(11))
+	other := xmlgraph.RandomCollection(rng, 20, 50, 60)
+
+	const builders = 2
+	const queryWorkers = 4
+	const queriesPerWorker = 25
+	base := ix.Stats().Snapshot()
+	var wg sync.WaitGroup
+	errs := make(chan string, builders+queryWorkers)
+	for b := 0; b < builders; b++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				if _, err := BuildWithOptions(other, Config{Kind: UnconnectedHOPI, PartitionSize: 100},
+					BuildOptions{Parallelism: 4}); err != nil {
+					errs <- "parallel build failed: " + err.Error()
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < queryWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < queriesPerWorker; i++ {
+				if got := collectDescendants(ix, start, "item"); !equalResults(got, want) {
+					errs <- "query results changed while a parallel build was running"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+
+	// The shared counters must be exact: no lost updates, no leakage from
+	// the concurrent builds (which have their own QueryStats).
+	final := ix.Stats().Snapshot()
+	queries := int64(queryWorkers * queriesPerWorker)
+	if got, want := final.Pops-base.Pops, queries*popsPerQuery; got != want {
+		t.Errorf("Pops advanced by %d over %d queries, want exactly %d", got, queries, want)
+	}
+	if got, want := final.DupDropped-base.DupDropped, queries*dupPerQuery; got != want {
+		t.Errorf("DupDropped advanced by %d over %d queries, want exactly %d", got, queries, want)
+	}
+}

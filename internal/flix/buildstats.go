@@ -22,8 +22,24 @@ type BuildStats struct {
 	Select time.Duration
 	// IndexBuild is the wall time of the (parallel) index construction.
 	IndexBuild time.Duration
+	// Parallelism is the worker-pool width the index build ran with.  An
+	// index restored from disk reports 0 (nothing was built).
+	Parallelism int
+	// Workers reports each build worker's share of the construction, in
+	// worker order.  Summed Busy over IndexBuild approximates the build's
+	// effective parallel speedup.
+	Workers []WorkerBuild
 	// Strategies aggregates per-strategy construction effort.
 	Strategies map[string]StrategyBuild
+}
+
+// WorkerBuild is one build worker's aggregate over the index construction.
+type WorkerBuild struct {
+	// Metas is the number of meta documents the worker built.
+	Metas int
+	// Busy is the time the worker spent selecting strategies and
+	// building indexes (its wall time minus idle/steal time).
+	Busy time.Duration
 }
 
 // StrategyBuild aggregates the index builds that used one strategy.
@@ -42,6 +58,9 @@ func (b BuildStats) String() string {
 	fmt.Fprintf(&sb, "partition %s, select %s, index build %s",
 		b.Partition.Round(time.Microsecond), b.Select.Round(time.Microsecond),
 		b.IndexBuild.Round(time.Microsecond))
+	if b.Parallelism > 0 {
+		fmt.Fprintf(&sb, " (parallelism %d, %d workers)", b.Parallelism, len(b.Workers))
+	}
 	names := make([]string, 0, len(b.Strategies))
 	for n := range b.Strategies {
 		names = append(names, n)

@@ -114,6 +114,18 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// BuildOptions tunes how the build phase executes, independently of what
+// it builds (Config).  The zero value uses all CPUs.
+type BuildOptions struct {
+	// Parallelism bounds the number of concurrent per-meta-document index
+	// builds in the worker pool; spare budget (e.g. Monolithic's single
+	// meta document) flows into strategies with parallel builders such as
+	// hopi-dc's per-partition labeling.  0 means GOMAXPROCS; 1 builds
+	// serially.  The built index is identical — byte-for-byte under
+	// WriteTo — at every parallelism level.
+	Parallelism int
+}
+
 // Index is a built FliX index over one collection.  It is immutable and
 // safe for concurrent queries.
 type Index struct {
@@ -125,8 +137,14 @@ type Index struct {
 	bstats BuildStats
 }
 
-// Build runs the build phase on a frozen collection.
+// Build runs the build phase on a frozen collection with default options
+// (all CPUs).
 func Build(c *xmlgraph.Collection, cfg Config) (*Index, error) {
+	return BuildWithOptions(c, cfg, BuildOptions{})
+}
+
+// BuildWithOptions runs the build phase on a frozen collection.
+func BuildWithOptions(c *xmlgraph.Collection, cfg Config, opts BuildOptions) (*Index, error) {
 	if !c.Frozen() {
 		return nil, fmt.Errorf("flix: collection must be frozen before Build")
 	}
@@ -174,78 +192,122 @@ func Build(c *xmlgraph.Collection, cfg Config) (*Index, error) {
 	}
 	ix := &Index{coll: c, set: set, cfg: cfg, pis: make([]pathindex.Index, len(set.Metas))}
 	ix.bstats.Partition = partTime
-	if err := ix.buildIndexes(preferred); err != nil {
+	if err := ix.buildIndexes(preferred, opts.Parallelism); err != nil {
 		return nil, err
 	}
 	return ix, nil
 }
 
-// buildIndexes constructs the per-meta-document indexes, in parallel across
-// the available CPUs — meta documents are independent, so this is the
-// natural parallelism of the build phase.
-func (ix *Index) buildIndexes(preferred string) error {
+// workerStats is one build worker's private aggregate.  Workers never share
+// it, so recording needs no lock; buildIndexes merges the per-worker
+// aggregates deterministically (in worker order) once the pool drains.
+type workerStats struct {
+	wb     WorkerBuild
+	sel    time.Duration
+	strats map[string]StrategyBuild
+}
+
+func (ws *workerStats) record(name string, tm meta.Timing) {
+	if ws.strats == nil {
+		ws.strats = make(map[string]StrategyBuild)
+	}
+	sb := ws.strats[name]
+	sb.Metas++
+	sb.Total += tm.Build
+	if tm.Build > sb.Max {
+		sb.Max = tm.Build
+	}
+	ws.strats[name] = sb
+	ws.sel += tm.Select
+	ws.wb.Metas++
+	ws.wb.Busy += tm.Select + tm.Build
+}
+
+// buildIndexes constructs the per-meta-document indexes on a worker pool of
+// the given width (<= 0 means all CPUs) — meta documents are independent,
+// so this is the natural parallelism of the build phase.  Output is
+// deterministic regardless of the pool width: pis[i] is keyed by the stable
+// meta-document ordering, every strategy builds identical indexes at every
+// parallelism level, and the per-worker statistics are merged in worker
+// order after the pool drains.
+func (ix *Index) buildIndexes(preferred string, parallelism int) error {
 	metas := ix.set.Metas
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	ix.bstats.Parallelism = parallelism
 	t0 := time.Now()
 	defer func() { ix.bstats.IndexBuild = time.Since(t0) }()
-	// Per-strategy aggregation; guarded by aggMu because workers report
-	// concurrently (the lock is outside the build work, so it costs
-	// nothing measurable).
-	var aggMu sync.Mutex
-	ix.bstats.Strategies = make(map[string]StrategyBuild)
-	record := func(idx pathindex.Index, tm meta.Timing) {
-		aggMu.Lock()
-		sb := ix.bstats.Strategies[idx.Name()]
-		sb.Metas++
-		sb.Total += tm.Build
-		if tm.Build > sb.Max {
-			sb.Max = tm.Build
-		}
-		ix.bstats.Strategies[idx.Name()] = sb
-		ix.bstats.Select += tm.Select
-		aggMu.Unlock()
+	workers := min(parallelism, len(metas))
+	if workers < 1 {
+		workers = 1
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(metas) {
-		workers = len(metas)
-	}
-	if workers <= 1 {
+	// Intra-build budget: when the pool has spare parallelism relative to
+	// the number of meta documents (the Monolithic extreme: one meta
+	// document on a many-core box), the remainder flows into strategies
+	// with parallel builders (hopi-dc's per-partition labeling).
+	inner := max(1, parallelism/workers)
+	perWorker := make([]workerStats, workers)
+	if workers == 1 {
 		for i, md := range metas {
-			idx, tm, err := meta.BuildIndexTimed(md, ix.cfg.Load, preferred)
+			idx, tm, err := meta.BuildIndexParallel(md, ix.cfg.Load, preferred, inner)
 			if err != nil {
 				return err
 			}
 			ix.pis[i] = idx
-			record(idx, tm)
+			perWorker[0].record(idx.Name(), tm)
 		}
-		return nil
+	} else {
+		var (
+			next    atomic.Int64
+			wg      sync.WaitGroup
+			errOnce sync.Once
+			firstE  error
+			failed  atomic.Bool
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ws := &perWorker[w]
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(metas) || failed.Load() {
+						return
+					}
+					idx, tm, err := meta.BuildIndexParallel(metas[i], ix.cfg.Load, preferred, inner)
+					if err != nil {
+						errOnce.Do(func() { firstE = err })
+						failed.Store(true)
+						return
+					}
+					ix.pis[i] = idx
+					ws.record(idx.Name(), tm)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if firstE != nil {
+			return firstE
+		}
 	}
-	var (
-		next    atomic.Int64
-		wg      sync.WaitGroup
-		errOnce sync.Once
-		firstE  error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(metas) {
-					return
-				}
-				idx, tm, err := meta.BuildIndexTimed(metas[i], ix.cfg.Load, preferred)
-				if err != nil {
-					errOnce.Do(func() { firstE = err })
-					return
-				}
-				ix.pis[i] = idx
-				record(idx, tm)
+	ix.bstats.Strategies = make(map[string]StrategyBuild)
+	ix.bstats.Workers = make([]WorkerBuild, 0, workers)
+	for w := range perWorker {
+		ws := &perWorker[w]
+		ix.bstats.Select += ws.sel
+		for name, sb := range ws.strats {
+			agg := ix.bstats.Strategies[name]
+			agg.Metas += sb.Metas
+			agg.Total += sb.Total
+			if sb.Max > agg.Max {
+				agg.Max = sb.Max
 			}
-		}()
+			ix.bstats.Strategies[name] = agg
+		}
+		ix.bstats.Workers = append(ix.bstats.Workers, ws.wb)
 	}
-	wg.Wait()
-	return firstE
+	return nil
 }
 
 // Collection returns the indexed collection.

@@ -26,8 +26,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/lgraph"
 	"repro/internal/pathindex"
@@ -90,6 +92,21 @@ func Build(g *lgraph.LGraph) *Index {
 // partition-crossing edges) are labeled over the whole graph first; all other
 // nodes are labeled within their partition only.
 func BuildPartitioned(g *lgraph.LGraph, part []int32) *Index {
+	return BuildPartitionedParallel(g, part, 1)
+}
+
+// BuildPartitionedParallel is BuildPartitioned with the per-partition
+// labeling step running on up to parallelism workers (<= 0 means all CPUs).
+//
+// Phase 1 (border hubs) stays sequential: each border BFS prunes against
+// the labels of every earlier hub over the whole graph, so its outcome
+// depends on the processing order.  Phase 2 is parallel across partitions:
+// a partition-confined BFS reads and writes only labels of its own
+// partition's nodes — border labels are complete and read-only by then —
+// so partitions are independent, and processing each partition's interior
+// hubs in global hub order makes the result identical to the serial build
+// at every parallelism level.
+func BuildPartitionedParallel(g *lgraph.LGraph, part []int32, parallelism int) *Index {
 	idx := newIndex(g)
 	b := newBuilder(idx)
 	border := make([]bool, g.NumNodes())
@@ -109,11 +126,54 @@ func BuildPartitioned(g *lgraph.LGraph, part []int32) *Index {
 		}
 	}
 	// Phase 2: interior hubs, BFS confined to the hub's partition.
+	// Group them by partition, preserving hub order within each group.
+	groupOf := make(map[int32]int)
+	var groups [][]int32
 	for _, v := range order {
-		if !border[v] {
-			p := part[v]
-			b.label(v, func(u int32) bool { return part[u] == p })
+		if border[v] {
+			continue
 		}
+		gi, ok := groupOf[part[v]]
+		if !ok {
+			gi = len(groups)
+			groupOf[part[v]] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], v)
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	workers := min(parallelism, len(groups))
+	runGroup := func(b *builder, hubs []int32) {
+		p := part[hubs[0]]
+		within := func(u int32) bool { return part[u] == p }
+		for _, v := range hubs {
+			b.label(v, within)
+		}
+	}
+	if workers <= 1 {
+		for _, hubs := range groups {
+			runGroup(b, hubs)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				wb := newBuilder(idx)
+				for {
+					gi := int(next.Add(1)) - 1
+					if gi >= len(groups) {
+						return
+					}
+					runGroup(wb, groups[gi])
+				}
+			}()
+		}
+		wg.Wait()
 	}
 	idx.finish()
 	return idx
@@ -179,6 +239,9 @@ func DCStrategy(maxNodes int) pathindex.Strategy {
 		Name: "hopi-dc",
 		Build: func(g *lgraph.LGraph) (pathindex.Index, error) {
 			return BuildPartitioned(g, AssignPartitions(g, maxNodes)), nil
+		},
+		BuildParallel: func(g *lgraph.LGraph, parallelism int) (pathindex.Index, error) {
+			return BuildPartitionedParallel(g, AssignPartitions(g, maxNodes), parallelism), nil
 		},
 	}
 }

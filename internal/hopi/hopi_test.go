@@ -1,6 +1,7 @@
 package hopi
 
 import (
+	"bytes"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -265,6 +266,46 @@ func TestPropertyPartitionedEqualsWhole(t *testing.T) {
 	if err != nil {
 		t.Error(err)
 	}
+}
+
+// TestPropertyParallelBuildDeterministic verifies the parallel
+// divide-and-conquer build's central guarantee: at every parallelism level
+// the labels are identical to the serial build's — compared byte-for-byte
+// through WriteTo, which serializes Lin and Lout exactly.
+func TestPropertyParallelBuildDeterministic(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25}
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(60)
+		g := randomGraph(rng, n, rng.Intn(3*n))
+		parts := 1 + rng.Intn(5)
+		part := make([]int32, n)
+		for i := range part {
+			part[i] = int32(rng.Intn(parts))
+		}
+		serial := serialize(t, BuildPartitioned(g, part))
+		for _, parallelism := range []int{2, 4, 8} {
+			par := serialize(t, BuildPartitionedParallel(g, part, parallelism))
+			if !bytes.Equal(serial, par) {
+				t.Logf("seed %d, %d nodes, %d partitions, parallelism %d: labels differ from serial build",
+					seed, n, parts, parallelism)
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func serialize(t *testing.T, idx *Index) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
 }
 
 func TestPropertyNaiveAgainstBFS(t *testing.T) {

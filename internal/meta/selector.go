@@ -108,12 +108,20 @@ type Timing struct {
 // BuildIndexTimed is BuildIndex reporting how long strategy selection and
 // index construction took.
 func BuildIndexTimed(md *MetaDocument, load QueryLoad, preferred string) (pathindex.Index, Timing, error) {
+	return BuildIndexParallel(md, load, preferred, 1)
+}
+
+// BuildIndexParallel is BuildIndexTimed with an intra-build parallelism
+// budget for strategies whose construction can use extra workers (e.g. the
+// per-partition labeling of hopi-dc).  parallelism <= 0 means all CPUs; the
+// resulting index is identical at every parallelism level.
+func BuildIndexParallel(md *MetaDocument, load QueryLoad, preferred string, parallelism int) (pathindex.Index, Timing, error) {
 	var tm Timing
 	t0 := time.Now()
 	s := Select(md, load, preferred)
 	tm.Select = time.Since(t0)
 	t0 = time.Now()
-	idx, err := s.Build(md.Graph)
+	idx, err := s.BuildWith(md.Graph, parallelism)
 	tm.Build = time.Since(t0)
 	if err != nil {
 		return nil, tm, fmt.Errorf("meta %d: building %s: %w", md.ID, s.Name, err)

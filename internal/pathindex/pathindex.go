@@ -69,6 +69,12 @@ type Builder func(g *lgraph.LGraph) (Index, error)
 // The local graph must be the one the index was built over.
 type BodyReader func(g *lgraph.LGraph, r *storage.Reader) (Index, error)
 
+// ParallelBuilder constructs an Index using up to parallelism concurrent
+// workers.  parallelism <= 0 means "use all CPUs"; 1 must build serially.
+// Implementations guarantee determinism: the resulting index is identical
+// (byte-for-byte under WriteTo) for every parallelism value.
+type ParallelBuilder func(g *lgraph.LGraph, parallelism int) (Index, error)
+
 // Strategy pairs a strategy name with its builder and the structural
 // constraints the Indexing Strategy Selector checks.
 type Strategy struct {
@@ -76,9 +82,22 @@ type Strategy struct {
 	Name string
 	// Build constructs the index.
 	Build Builder
+	// BuildParallel, when non-nil, is a parallelism-aware variant of
+	// Build used by the parallel build pipeline; when nil the strategy's
+	// construction is inherently sequential and Build is used at every
+	// parallelism level.
+	BuildParallel ParallelBuilder
 	// RequiresForest marks strategies (PPO) that only work when the local
 	// graph is a forest.
 	RequiresForest bool
+}
+
+// BuildWith dispatches to BuildParallel when available, Build otherwise.
+func (s Strategy) BuildWith(g *lgraph.LGraph, parallelism int) (Index, error) {
+	if s.BuildParallel != nil {
+		return s.BuildParallel(g, parallelism)
+	}
+	return s.Build(g)
 }
 
 // FilterByTag adapts a Visit that should only see nodes of one tag; it is a

@@ -2,6 +2,47 @@ package query
 
 import "testing"
 
+// FuzzEvaluate drives every accepted query string through the full
+// evaluation pipeline against a small fixed collection: evaluation must
+// never panic, and the ranked matches must respect the evaluator's
+// contract — scores in (0, 1], non-increasing order, valid nodes.
+func FuzzEvaluate(f *testing.F) {
+	for _, seed := range []string{
+		"//movie//actor",
+		"//~movie//~actor",
+		`//movie[text~"Matrix"]//actor`,
+		"/movie/cast/actor",
+		"//*", "//x//y//z", "a",
+		`//title[text="Matrix 3"]`,
+	} {
+		f.Add(seed)
+	}
+	e, _ := buildEval(f)
+	e.MaxResults = 50
+	f.Fuzz(func(t *testing.T, expr string) {
+		q, err := Parse(expr)
+		if err != nil {
+			return
+		}
+		matches := e.Evaluate(q)
+		if len(matches) > e.MaxResults {
+			t.Fatalf("Evaluate(%q) returned %d matches, MaxResults %d", expr, len(matches), e.MaxResults)
+		}
+		coll := e.Index.Collection()
+		for i, m := range matches {
+			if m.Score <= 0 || m.Score > 1 {
+				t.Fatalf("Evaluate(%q) match %d has score %v outside (0,1]", expr, i, m.Score)
+			}
+			if i > 0 && matches[i-1].Score < m.Score {
+				t.Fatalf("Evaluate(%q) matches not sorted: score %v before %v", expr, matches[i-1].Score, m.Score)
+			}
+			if !coll.Valid(m.Node) {
+				t.Fatalf("Evaluate(%q) match %d names invalid node %d", expr, i, m.Node)
+			}
+		}
+	})
+}
+
 // FuzzParse checks that the parser never panics and that every accepted
 // expression round-trips through String.
 func FuzzParse(f *testing.F) {

@@ -634,11 +634,20 @@ func buildJSON(bs flix.BuildStats) map[string]any {
 			"max":           sb.Max.Round(time.Microsecond).String(),
 		}
 	}
+	workers := make([]map[string]any, 0, len(bs.Workers))
+	for _, wb := range bs.Workers {
+		workers = append(workers, map[string]any{
+			"metaDocuments": wb.Metas,
+			"busy":          wb.Busy.Round(time.Microsecond).String(),
+		})
+	}
 	return map[string]any{
-		"partition":  bs.Partition.Round(time.Microsecond).String(),
-		"select":     bs.Select.Round(time.Microsecond).String(),
-		"indexBuild": bs.IndexBuild.Round(time.Microsecond).String(),
-		"strategies": strategies,
+		"partition":   bs.Partition.Round(time.Microsecond).String(),
+		"select":      bs.Select.Round(time.Microsecond).String(),
+		"indexBuild":  bs.IndexBuild.Round(time.Microsecond).String(),
+		"parallelism": bs.Parallelism,
+		"workers":     workers,
+		"strategies":  strategies,
 	}
 }
 

@@ -1,0 +1,97 @@
+// Package testutil generates seeded pseudo-random XML collections for the
+// differential test suites that cross-check every Path Indexing Strategy
+// against the transitive-closure oracle.  All generators are deterministic
+// in their seed: a failing test logs the family and seed, and re-running
+// with them reproduces the exact collection.
+//
+// Three families cover the structural range of the paper's data model:
+//
+//   - Trees: the overall data graph is a tree (documents linked
+//     root-to-root), the MaximalPPO situation — every strategy including
+//     PPO applies.
+//   - DAGs: documents carrying id/idref-style links that always point
+//     forward in document preorder, so the data graph is acyclic but no
+//     longer a forest.
+//   - Linked: arbitrary cross-document XLink-style references with no
+//     direction constraint; cycles are possible and expected.
+package testutil
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/xmlgraph"
+)
+
+// Family names one shape of random collection.
+type Family string
+
+const (
+	// Trees generates collections whose data graph is a tree.
+	Trees Family = "trees"
+	// DAGs generates collections with forward-only id/idref links.
+	DAGs Family = "dags"
+	// Linked generates collections with unconstrained XLink-style links.
+	Linked Family = "linked"
+)
+
+// Families lists every collection shape, in test order.
+func Families() []Family { return []Family{Trees, DAGs, Linked} }
+
+// Generate builds one frozen collection of the family, deterministic in
+// seed: docs documents of 1..maxSize elements each; links link edges for
+// the DAGs and Linked families (Trees derives its links from the document
+// tree and ignores the parameter).
+func Generate(f Family, seed int64, docs, maxSize, links int) *xmlgraph.Collection {
+	rng := rand.New(rand.NewSource(seed))
+	switch f {
+	case Trees:
+		return xmlgraph.RandomTreeCollection(rng, docs, maxSize)
+	case DAGs:
+		return dagCollection(rng, docs, maxSize, links)
+	case Linked:
+		return xmlgraph.RandomCollection(rng, docs, maxSize, links)
+	default:
+		panic(fmt.Sprintf("testutil: unknown family %q", f))
+	}
+}
+
+// dagCollection builds random documents and adds id/idref-style links that
+// always point from a smaller to a strictly larger node ID.  Node IDs are
+// assigned in document preorder, so every tree edge already ascends and the
+// combined data graph stays acyclic.
+func dagCollection(rng *rand.Rand, docs, maxSize, links int) *xmlgraph.Collection {
+	c := xmlgraph.NewCollection()
+	tags := []string{"a", "b", "c", "d", "e"}
+	for i := 0; i < docs; i++ {
+		b := c.NewDocument(fmt.Sprintf("dag%d.xml", i))
+		n := 1 + rng.Intn(maxSize)
+		b.Enter(tags[rng.Intn(len(tags))], "")
+		open := 1
+		for j := 1; j < n; j++ {
+			if open > 1 && rng.Intn(3) == 0 {
+				b.Leave()
+				open--
+				continue
+			}
+			b.Enter(tags[rng.Intn(len(tags))], "")
+			open++
+		}
+		for open > 0 {
+			b.Leave()
+			open--
+		}
+		b.Close()
+	}
+	for i := 0; i < links && c.NumNodes() > 1; i++ {
+		from := xmlgraph.NodeID(rng.Intn(c.NumNodes() - 1))
+		to := from + 1 + xmlgraph.NodeID(rng.Intn(c.NumNodes()-1-int(from)))
+		kind := xmlgraph.EdgeInterLink
+		if c.DocOf(from) == c.DocOf(to) {
+			kind = xmlgraph.EdgeIntraLink
+		}
+		c.AddLink(from, to, kind)
+	}
+	c.Freeze()
+	return c
+}

@@ -7,6 +7,68 @@ import (
 	"repro/internal/xmlgraph"
 )
 
+// FuzzParseDocument attacks the parser with malformed, deeply nested and
+// entity-heavy XML: whatever the input, parsing must never panic, never
+// hang on expanding entities, and either report an error or produce a
+// document that parses identically a second time (the loader is
+// deterministic).  The Strict mode must never succeed where the lenient
+// mode errored.
+func FuzzParseDocument(f *testing.F) {
+	deep := strings.Repeat("<d>", 400) + "x" + strings.Repeat("</d>", 400)
+	entities := `<?xml version="1.0"?><!DOCTYPE a [<!ENTITY e "&#38;&#38;">]><a>&e;&e;&e;&amp;&lt;&gt;&quot;&#x26;</a>`
+	bomb := `<!DOCTYPE a [<!ENTITY a "aaaa"><!ENTITY b "&a;&a;&a;&a;"><!ENTITY c "&b;&b;&b;&b;">]><a>&c;</a>`
+	for _, seed := range []string{
+		deep,
+		entities,
+		bomb,
+		`<a id="x"><b idref="x"/></a>`,
+		`<a href="#"/>`, `<a href="doc#"/>`, `<a xml:id=""/>`,
+		`<a><![CDATA[<b>]]></a>`,
+		`<a xmlns="urn:x"><b xmlns:y="urn:y"><y:c/></b></a>`,
+		`<?pi data?><a/><!--tail-->`,
+		`<a>&undefined;</a>`,
+		`<a attr=">`, `<a ><`, "<a>\xff\xfe</a>", `<a/><b/>`,
+		strings.Repeat("<a>", 50),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		l := NewLoader()
+		err := l.LoadDocument("fuzz.xml", strings.NewReader(doc))
+		strict := NewLoader()
+		strict.Strict = true
+		serr := strict.LoadDocument("fuzz.xml", strings.NewReader(doc))
+		if err != nil {
+			if serr == nil {
+				t.Fatalf("lenient parse failed (%v) but strict parse succeeded", err)
+			}
+			return
+		}
+		c, err := l.Finish()
+		if err != nil {
+			return
+		}
+		// Accepted input must parse identically a second time.
+		l2 := NewLoader()
+		if err := l2.LoadDocument("fuzz.xml", strings.NewReader(doc)); err != nil {
+			t.Fatalf("accepted document failed to re-parse: %v", err)
+		}
+		c2, err := l2.Finish()
+		if err != nil {
+			t.Fatalf("accepted document failed to re-finish: %v", err)
+		}
+		if c.NumNodes() != c2.NumNodes() || c.NumLinks() != c2.NumLinks() {
+			t.Fatalf("re-parse changed shape: (%d nodes, %d links) vs (%d, %d)",
+				c.NumNodes(), c.NumLinks(), c2.NumNodes(), c2.NumLinks())
+		}
+		for n := xmlgraph.NodeID(0); int(n) < c.NumNodes(); n++ {
+			if c.Tag(n) != c2.Tag(n) || c.Parent(n) != c2.Parent(n) {
+				t.Fatalf("re-parse changed node %d", n)
+			}
+		}
+	})
+}
+
 // FuzzLoadDocument checks that arbitrary input never panics the loader and
 // that accepted documents produce structurally valid collections.
 func FuzzLoadDocument(f *testing.F) {

@@ -6,12 +6,14 @@
 //
 // Usage:
 //
-//	flixbench [-docs 6210] [-seed 42] [-exp all|table1|figure5|errors|conn|scale|hetero|serving|build]
+//	flixbench [-docs 6210] [-seed 42] [-exp all|table1|figure5|errors|conn|scale|hetero|serving|build|swap]
 //
 // The scale and hetero experiments go beyond the paper's evaluation and
 // cover its §7 future work: scalability with growing collections and
 // adaptivity on a heterogeneous collection (deep trees + citations + a
-// densely linked Web-like region).
+// densely linked Web-like region).  The swap experiment measures the live
+// reindexing hot-swap: client-observed latency while index generations are
+// replaced under load, every response checked against the BFS oracle.
 package main
 
 import (
@@ -32,11 +34,14 @@ func main() {
 	log.SetPrefix("flixbench: ")
 	docs := flag.Int("docs", 6210, "number of publication documents (paper: 6210)")
 	seed := flag.Int64("seed", 42, "generator seed")
-	exp := flag.String("exp", "all", "experiment: all | table1 | figure5 | errors | conn | scale | hetero | serving | build")
+	exp := flag.String("exp", "all", "experiment: all | table1 | figure5 | errors | conn | scale | hetero | serving | build | swap")
 	pairs := flag.Int("pairs", 200, "connection-test pairs")
 	closure := flag.Bool("closure", false, "also build the full transitive closure as the Table 1 size reference (slow)")
 	servingOut := flag.String("serving-out", "BENCH_serving.json", "output file for the serving experiment's machine-readable results")
 	buildOut := flag.String("build-out", "BENCH_build.json", "output file for the build experiment's machine-readable results")
+	swapOut := flag.String("swap-out", "BENCH_swap.json", "output file for the swap experiment's machine-readable results")
+	swapN := flag.Int("swaps", 5, "hot-swaps to fire during the swap experiment")
+	swapWorkers := flag.Int("swap-workers", 0, "concurrent query workers in the swap experiment (0 = scale with CPUs)")
 	flag.Parse()
 
 	run := map[string]bool{}
@@ -60,6 +65,9 @@ func main() {
 	}
 	if run["build"] {
 		buildExperiment(*docs, *seed, *buildOut)
+	}
+	if run["swap"] {
+		swapExperiment(*docs, *seed, *swapOut, *swapN, *swapWorkers)
 	}
 	if !run["table1"] && !run["figure5"] && !run["errors"] && !run["conn"] {
 		return

@@ -1,0 +1,302 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/dblp"
+	"repro/internal/flix"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/xmlgraph"
+)
+
+// phaseLatency is one phase's latency summary in BENCH_swap.json.
+type phaseLatency struct {
+	Requests uint64 `json:"requests"`
+	Mean     string `json:"mean"`
+	P50      string `json:"p50"`
+	P95      string `json:"p95"`
+	P99      string `json:"p99"`
+	P99Nanos int64  `json:"p99Nanos"`
+}
+
+// swapResult is the machine-readable record of the swap experiment: steady
+// vs swap-phase client latency, every response verified against the BFS
+// oracle, and the generation bookkeeping after the dust settles.
+type swapResult struct {
+	Experiment string `json:"experiment"`
+	Docs       int    `json:"docs"`
+	Elements   int    `json:"elements"`
+	Workers    int    `json:"workers"`
+	Swaps      int    `json:"swaps"`
+	// Verified counts oracle-checked 200 responses; a single mismatch
+	// fails the run with a non-zero exit.
+	Verified        int64        `json:"verified"`
+	Shed            int64        `json:"shed"`
+	FinalGeneration uint64       `json:"finalGeneration"`
+	Steady          phaseLatency `json:"steady"`
+	SwapPhase       phaseLatency `json:"swapPhase"`
+	// P99Ratio is swap-phase p99 over steady p99 — the headline number:
+	// hot swaps must not disturb serving latency (target: <= 2x).
+	P99Ratio    float64 `json:"p99Ratio"`
+	WithinBound bool    `json:"withinBound"`
+}
+
+// swapSpec is one request with its oracle result set.
+type swapSpec struct {
+	url  string
+	want map[xmlgraph.NodeID]int32
+}
+
+// swapExperiment serves the synthetic DBLP collection over HTTP, streams
+// queries from concurrent workers, and hot-swaps the index generations
+// while the load runs.  Every response is checked against the BFS oracle
+// (any wrong result set is fatal), and the client-observed p99 during the
+// swap phase is compared against the steady phase.
+func swapExperiment(docs int, seed int64, out string, swaps, workers int) {
+	fmt.Println("=== Swap: hot-swap latency under live load ===")
+	if workers <= 0 {
+		// Closed-loop workers generate queueing, not load, once they
+		// outnumber the CPUs serving them; two per available core keeps
+		// the tail measuring the swap, not the oversubscription.
+		workers = runtime.NumCPU()
+		if workers < 2 {
+			workers = 2
+		}
+	}
+	p := dblp.DefaultParams()
+	p.Docs = docs
+	p.Seed = seed
+	e := bench.NewExperiment(p)
+	coll := e.Coll
+	fmt.Printf("collection: %d documents, %d elements\n", coll.NumDocs(), coll.NumNodes())
+
+	cycle := []flix.Config{
+		{Kind: flix.UnconnectedHOPI, PartitionSize: 5000},
+		{Kind: flix.MaximalPPO},
+		{Kind: flix.Hybrid, PartitionSize: 20000},
+		{Kind: flix.Hybrid, PartitionSize: 5000},
+	}
+	ix, err := flix.BuildWithOptions(coll, cycle[len(cycle)-1], flix.BuildOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := server.New(ix, server.Config{
+		MaxInFlight:    4 * workers,
+		DefaultTimeout: 30 * time.Second,
+		DefaultLimit:   1 << 20,
+		MaxLimit:       1 << 20,
+		CacheSize:      512,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	specs := buildSwapSpecs(coll, e.Start, ts.URL)
+	fmt.Printf("workload: %d oracle-checked descendants queries, %d workers\n", len(specs), workers)
+
+	// phase 0 = warmup (discarded), 1 = steady, 2 = swapping; workers
+	// bucket each request's client-observed latency by the phase it
+	// started in.
+	var (
+		phase      atomic.Int32
+		hists      [3]obs.Histogram
+		verified   atomic.Int64
+		shed       atomic.Int64
+		mismatches atomic.Int64
+		stop       = make(chan struct{})
+		wg         sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			client := &http.Client{}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				spec := specs[(id+i)%len(specs)]
+				ph := phase.Load()
+				t0 := time.Now()
+				resp, err := client.Get(spec.url)
+				if err != nil {
+					log.Printf("worker %d: %v", id, err)
+					mismatches.Add(1)
+					return
+				}
+				if resp.StatusCode == http.StatusTooManyRequests {
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck
+					resp.Body.Close()
+					shed.Add(1)
+					continue
+				}
+				var body struct {
+					Results []struct {
+						Node xmlgraph.NodeID `json:"node"`
+						Dist int32           `json:"dist"`
+					} `json:"results"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&body)
+				resp.Body.Close()
+				hists[ph].Observe(time.Since(t0))
+				if err != nil || resp.StatusCode != http.StatusOK {
+					log.Printf("worker %d: GET %s: status %d, decode err %v", id, spec.url, resp.StatusCode, err)
+					mismatches.Add(1)
+					return
+				}
+				if !verifySwapResponse(spec, body.Results) {
+					log.Printf("worker %d: GET %s: result set does not match the oracle", id, spec.url)
+					mismatches.Add(1)
+					return
+				}
+				verified.Add(1)
+			}
+		}(w)
+	}
+
+	// Steady phase: let the workers settle, then collect a baseline.
+	waitVerified := func(target int64, what string) {
+		deadline := time.Now().Add(5 * time.Minute)
+		for verified.Load() < target {
+			if time.Now().After(deadline) || mismatches.Load() > 0 {
+				close(stop)
+				wg.Wait()
+				log.Fatalf("swap experiment stalled during %s (%d verified, %d mismatches)",
+					what, verified.Load(), mismatches.Load())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitVerified(int64(4*len(specs)), "warmup")
+	phase.Store(1)
+	waitVerified(verified.Load()+2000, "steady phase")
+
+	// Swap phase: rebuild and hot-swap generations while the load runs,
+	// each only after enough swap-phase traffic verified against the
+	// previous generation.  The background build is bounded to two workers
+	// — the same knob flixd exposes as -build-parallelism — so the rebuild
+	// does not starve the serving path of CPU.
+	phase.Store(2)
+	t0 := time.Now()
+	for m := 0; m < swaps; m++ {
+		next, err := flix.BuildWithOptions(coll, cycle[m%len(cycle)], flix.BuildOptions{Parallelism: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		gen := s.Install(next, fmt.Sprintf("swap experiment %d/%d", m+1, swaps))
+		fmt.Printf("  swap %d/%d: generation %d (%s) after %s\n",
+			m+1, swaps, gen, next.Config().Kind, time.Since(t0).Round(time.Millisecond))
+		waitVerified(verified.Load()+400, fmt.Sprintf("swap %d", m+1))
+	}
+	close(stop)
+	wg.Wait()
+	if n := mismatches.Load(); n > 0 {
+		log.Fatalf("%d responses did not match the oracle", n)
+	}
+
+	steady := hists[1].Snapshot()
+	swapPh := hists[2].Snapshot()
+	r := swapResult{
+		Experiment:      "swap",
+		Docs:            coll.NumDocs(),
+		Elements:        coll.NumNodes(),
+		Workers:         workers,
+		Swaps:           swaps,
+		Verified:        verified.Load(),
+		Shed:            shed.Load(),
+		FinalGeneration: s.Generation(),
+		Steady:          phaseJSON(steady),
+		SwapPhase:       phaseJSON(swapPh),
+	}
+	if p99 := steady.Quantile(0.99); p99 > 0 {
+		r.P99Ratio = float64(swapPh.Quantile(0.99)) / float64(p99)
+	}
+	r.WithinBound = r.P99Ratio <= 2.0
+	fmt.Printf("steady p99 %s over %d requests; swap-phase p99 %s over %d requests (%.2fx, %d generations, %d verified)\n\n",
+		steady.Quantile(0.99).Round(time.Microsecond), steady.Count,
+		swapPh.Quantile(0.99).Round(time.Microsecond), swapPh.Count,
+		r.P99Ratio, r.FinalGeneration, r.Verified)
+
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", out)
+}
+
+// buildSwapSpecs assembles the oracle-checked workload: bounded-k queries
+// are not set-comparable, so every spec runs unbounded over its tag and is
+// checked for exact set membership and distance lower bounds.
+func buildSwapSpecs(coll *xmlgraph.Collection, hub xmlgraph.NodeID, base string) []swapSpec {
+	starts := []xmlgraph.NodeID{hub}
+	for d := 0; d < coll.NumDocs() && len(starts) < 12; d += 1 + coll.NumDocs()/11 {
+		starts = append(starts, coll.Doc(xmlgraph.DocID(d)).Root)
+	}
+	tags := coll.Tags()
+	if len(tags) > 6 {
+		tags = tags[:6]
+	}
+	var specs []swapSpec
+	for _, start := range starts {
+		for _, tag := range tags {
+			want := bench.OracleDistances(coll, start, tag)
+			// Unbounded scans with thousands of results measure JSON
+			// encoding, not swap behavior; keep the set-complete queries
+			// that a generation switch actually has to re-evaluate.
+			if len(want) == 0 || len(want) > 400 {
+				continue
+			}
+			specs = append(specs, swapSpec{
+				url:  fmt.Sprintf("%s/v1/descendants?start=%d&tag=%s&k=1000000", base, start, tag),
+				want: want,
+			})
+		}
+	}
+	if len(specs) == 0 {
+		log.Fatal("no non-empty oracle specs; collection too small")
+	}
+	return specs
+}
+
+func verifySwapResponse(spec swapSpec, results []struct {
+	Node xmlgraph.NodeID `json:"node"`
+	Dist int32           `json:"dist"`
+}) bool {
+	if len(results) != len(spec.want) {
+		return false
+	}
+	for _, r := range results {
+		td, ok := spec.want[r.Node]
+		if !ok || r.Dist < td {
+			return false
+		}
+	}
+	return true
+}
+
+func phaseJSON(sn obs.HistSnapshot) phaseLatency {
+	return phaseLatency{
+		Requests: sn.Count,
+		Mean:     sn.Mean().Round(time.Microsecond).String(),
+		P50:      sn.Quantile(0.50).Round(time.Microsecond).String(),
+		P95:      sn.Quantile(0.95).Round(time.Microsecond).String(),
+		P99:      sn.Quantile(0.99).Round(time.Microsecond).String(),
+		P99Nanos: sn.Quantile(0.99).Nanoseconds(),
+	}
+}

@@ -8,13 +8,22 @@
 //	      [-build-parallelism 0] [-ontology tags.txt] [-inflight 64]
 //	      [-timeout 2s] [-cache 1024] [-slow-query 100ms]
 //	      [-slow-query-sample 10] [-debug-addr :6060]
+//	      [-reindex-interval 0] [-snapshot-dir gens/] [-snapshot-retain 3]
 //
 // Endpoints (see internal/server):
 //
-//	GET /v1/descendants?start=<doc|node>&tag=<tag>[&k=][&maxdist=][&timeout=]
-//	GET /v1/connected?from=<doc|node>&to=<doc|node>[&maxdist=]
-//	GET /v1/query?q=<expr>[&k=]
-//	GET /healthz · /statsz · /metrics
+//	GET  /v1/descendants?start=<doc|node>&tag=<tag>[&k=][&maxdist=][&timeout=]
+//	GET  /v1/connected?from=<doc|node>&to=<doc|node>[&maxdist=]
+//	GET  /v1/query?q=<expr>[&k=]
+//	POST /v1/admin/reindex[?dry=1][&force=1]
+//	GET  /healthz · /statsz · /metrics
+//
+// The server binds its port immediately and builds the initial index in the
+// background; /healthz answers 503 (not ready) until generation 1 is live.
+// With -reindex-interval > 0 a background re-optimizer re-plans the index
+// against the live query load and hot-swaps improved generations in without
+// dropping a query; -snapshot-dir persists each generation (pruned to
+// -snapshot-retain) and warm-starts from the newest one on restart.
 //
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight queries before exiting (bounded by -drain).
@@ -33,6 +42,7 @@ import (
 	"time"
 
 	flix "repro"
+	"repro/internal/rebuild"
 	"repro/internal/server"
 )
 
@@ -59,6 +69,10 @@ func main() {
 		slowQ    = flag.Duration("slow-query", 0, "log sampled queries slower than this with their full trace (0 disables)")
 		slowN    = flag.Int("slow-query-sample", 1, "trace 1 in N queries for the slow-query log")
 		dbgAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty disables)")
+		reindex  = flag.Duration("reindex-interval", 0, "re-plan the index against the live load this often and hot-swap improvements (0 disables the loop; POST /v1/admin/reindex still works)")
+		minQ     = flag.Int64("reindex-min-queries", 50, "queries a generation must serve before its statistics are trusted")
+		snapDir  = flag.String("snapshot-dir", "", "persist each index generation here and warm-start from the newest (empty disables)")
+		snapKeep = flag.Int("snapshot-retain", 3, "generation snapshots to keep in -snapshot-dir")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -78,42 +92,21 @@ func main() {
 		log.Printf("warning: %v", e)
 	}
 
-	var ix *flix.Index
-	t0 := time.Now()
-	if *loadIx != "" {
-		f, err := os.Open(*loadIx)
-		if err != nil {
-			log.Fatal(err)
-		}
-		ix, err = flix.Load(coll, f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("index restored from %s in %s", *loadIx, time.Since(t0).Round(time.Millisecond))
-	} else {
-		cfg := flix.Config{PartitionSize: *partSize, Strategy: *strategy}
-		switch *config {
-		case "naive":
-			cfg.Kind = flix.Naive
-		case "maximal-ppo":
-			cfg.Kind = flix.MaximalPPO
-		case "unconnected-hopi":
-			cfg.Kind = flix.UnconnectedHOPI
-		case "hybrid":
-			cfg.Kind = flix.Hybrid
-		case "monolithic":
-			cfg.Kind = flix.Monolithic
-		default:
-			log.Fatalf("unknown configuration %q", *config)
-		}
-		ix, err = flix.BuildWithOptions(coll, cfg, flix.BuildOptions{Parallelism: *buildPar})
-		if err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("index built in %s (%s)", time.Since(t0).Round(time.Millisecond), ix.BuildStats())
+	cfg := flix.Config{PartitionSize: *partSize, Strategy: *strategy}
+	switch *config {
+	case "naive":
+		cfg.Kind = flix.Naive
+	case "maximal-ppo":
+		cfg.Kind = flix.MaximalPPO
+	case "unconnected-hopi":
+		cfg.Kind = flix.UnconnectedHOPI
+	case "hybrid":
+		cfg.Kind = flix.Hybrid
+	case "monolithic":
+		cfg.Kind = flix.Monolithic
+	default:
+		log.Fatalf("unknown configuration %q", *config)
 	}
-	log.Print(ix.Describe())
 
 	scfg := server.Config{
 		MaxInFlight:        *inflight,
@@ -131,7 +124,9 @@ func main() {
 	if !*quiet {
 		scfg.Logger = log.New(os.Stderr, "flixd: ", 0)
 	}
-	s := server.New(ix, scfg)
+	// The server starts pending: the port binds and /healthz answers (503)
+	// immediately while the initial index builds in the background.
+	s := server.NewPending(coll, scfg)
 	if *ontoFile != "" {
 		text, err := os.ReadFile(*ontoFile)
 		if err != nil {
@@ -143,6 +138,31 @@ func main() {
 		}
 		s.SetOntology(onto)
 	}
+
+	// Initial build + live-reindexing loop, off the serving path.  A build
+	// failure is fatal: a server that can never become ready should crash
+	// loudly, not 503 forever.
+	rebuildCtx, stopRebuild := context.WithCancel(context.Background())
+	defer stopRebuild()
+	go func() {
+		ix := initialIndex(coll, cfg, *loadIx, *snapDir, *buildPar)
+		log.Print(ix.Describe())
+		gen := s.Install(ix, "initial index")
+		log.Printf("generation %d live", gen)
+		mgr := rebuild.New(coll, s, rebuild.Config{
+			Interval:    *reindex,
+			MinQueries:  *minQ,
+			Parallelism: *buildPar,
+			SnapshotDir: *snapDir,
+			Retain:      *snapKeep,
+			Logger:      log.Default(),
+		})
+		s.SetReindexer(mgr)
+		if *reindex > 0 {
+			log.Printf("live reindexing every %s", *reindex)
+		}
+		mgr.Run(rebuildCtx) // returns immediately when -reindex-interval is 0
+	}()
 
 	// The pprof endpoints live on their own listener so profiling access
 	// can be firewalled separately from the query API.
@@ -180,4 +200,43 @@ func main() {
 		}
 		log.Print("bye")
 	}
+}
+
+// initialIndex produces generation 1: an explicitly named snapshot (-load),
+// else the newest generation snapshot in -snapshot-dir (warm start — a
+// stale or incompatible one falls back to building), else a fresh build.
+func initialIndex(coll *flix.Collection, cfg flix.Config, loadIx, snapDir string, parallelism int) *flix.Index {
+	t0 := time.Now()
+	if loadIx != "" {
+		f, err := os.Open(loadIx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ix, err := flix.Load(coll, f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("index restored from %s in %s", loadIx, time.Since(t0).Round(time.Millisecond))
+		return ix
+	}
+	if snapDir != "" {
+		if path, err := rebuild.LatestSnapshot(snapDir); err == nil && path != "" {
+			if f, err := os.Open(path); err == nil {
+				ix, err := flix.Load(coll, f)
+				f.Close()
+				if err == nil {
+					log.Printf("index warm-started from %s in %s", path, time.Since(t0).Round(time.Millisecond))
+					return ix
+				}
+				log.Printf("warning: snapshot %s unusable (%v); building fresh", path, err)
+			}
+		}
+	}
+	ix, err := flix.BuildWithOptions(coll, cfg, flix.BuildOptions{Parallelism: parallelism})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("index built in %s (%s)", time.Since(t0).Round(time.Millisecond), ix.BuildStats())
+	return ix
 }

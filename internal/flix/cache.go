@@ -197,6 +197,57 @@ func sortResults(results []Result) {
 	})
 }
 
+// HotKey identifies one cached query for cross-cache warming.
+type HotKey struct {
+	Start xmlgraph.NodeID
+	Tag   string
+}
+
+// HotKeys returns the keys of up to n cached queries (n <= 0 means all),
+// most recently used first — the working set a replacement cache should be
+// warmed with before it takes over.
+func (c *QueryCache) HotKeys(n int) []HotKey {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n <= 0 || n > c.lru.Len() {
+		n = c.lru.Len()
+	}
+	keys := make([]HotKey, 0, n)
+	for el := c.lru.Front(); el != nil && len(keys) < n; el = el.Next() {
+		k := el.Value.(*cacheEntry).key
+		keys = append(keys, HotKey{Start: k.start, Tag: k.tag})
+	}
+	return keys
+}
+
+// Warm evaluates each key to completion on the wrapped index and stores the
+// complete streams, least recent first so the LRU ends up ordered like the
+// source cache.  A generation about to be hot-swapped live uses this to
+// take over its predecessor's working set: the warming evaluations run on
+// the installer's goroutine, so the first post-swap clients hit a warm
+// cache instead of re-evaluating the whole hot set.  Returns the number of
+// queries warmed; cancellation stops the sweep.
+func (c *QueryCache) Warm(keys []HotKey, cancel <-chan struct{}) int {
+	warmed := 0
+	for i := len(keys) - 1; i >= 0; i-- {
+		if canceled(cancel) {
+			return warmed
+		}
+		key := keys[i]
+		var results []Result
+		c.ix.Descendants(key.Start, key.Tag, Options{Cancel: cancel}, func(r Result) bool {
+			results = append(results, r)
+			return true
+		})
+		if canceled(cancel) {
+			return warmed
+		}
+		c.store(cacheKey{start: key.Start, tag: key.Tag}, results)
+		warmed++
+	}
+	return warmed
+}
+
 // Counts returns the number of cache hits and misses so far.
 func (c *QueryCache) Counts() (hits, misses int64) {
 	c.mu.Lock()

@@ -1,0 +1,98 @@
+package flix
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/testutil"
+	"repro/internal/xmlgraph"
+)
+
+// TestRebuildWithAdvisedConfigDifferential is the correctness contract of
+// live reindexing, per collection family: drive a query load on a
+// deliberately mis-partitioned index, rebuild with whatever configuration
+// the §7 self-tuner advises, and require the rebuilt index to return
+// byte-identical result sets for the whole query workload.  Distances may
+// legitimately shrink (they are upper bounds that tighten as partitions
+// grow), so sets compare by node and distances by the oracle bound; the
+// exact (node, dist) stream is separately required to be deterministic
+// across two builds of the advised configuration — what makes generation
+// snapshots reproducible.
+func TestRebuildWithAdvisedConfigDifferential(t *testing.T) {
+	for _, fam := range testutil.Families() {
+		fam := fam
+		t.Run(string(fam), func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				coll := testutil.Generate(fam, seed, 25, 18, 50)
+				orig, err := Build(coll, Config{Kind: Hybrid, PartitionSize: 40})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// The workload is also the comparison suite.
+				type q struct {
+					start xmlgraph.NodeID
+					tag   string
+				}
+				var load []q
+				for s := 0; s < coll.NumNodes(); s += 7 {
+					for _, tag := range []string{"a", "b", "c", "d", "e", ""} {
+						load = append(load, q{xmlgraph.NodeID(s), tag})
+					}
+				}
+				origSets := make([][]byte, len(load))
+				for i, query := range load {
+					origSets[i] = setBytes(orig, query.start, query.tag)
+				}
+
+				adv := orig.Advise()
+				cfg2 := orig.Config()
+				if adv.Rebuild {
+					cfg2 = adv.Config
+				}
+				ix2, err := BuildWithOptions(coll, cfg2, BuildOptions{Parallelism: 4})
+				if err != nil {
+					t.Fatalf("seed %d: rebuilding with advised %+v: %v", seed, cfg2, err)
+				}
+				for i, query := range load {
+					if got := setBytes(ix2, query.start, query.tag); !bytes.Equal(got, origSets[i]) {
+						t.Fatalf("seed %d: start %d tag %q: advised rebuild set %s != original %s (advice: %s)",
+							seed, query.start, query.tag, got, origSets[i], adv.Reason)
+					}
+				}
+
+				// Same advised config, built twice: the full exact-order
+				// streams must be byte-identical.
+				ix2b, err := BuildWithOptions(coll, cfg2, BuildOptions{Parallelism: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, query := range load {
+					a := streamBytes(ix2, query.start, query.tag)
+					b := streamBytes(ix2b, query.start, query.tag)
+					if !bytes.Equal(a, b) {
+						t.Fatalf("seed %d: start %d tag %q: advised config builds disagree: %s vs %s",
+							seed, query.start, query.tag, a, b)
+					}
+				}
+			}
+		})
+	}
+}
+
+// setBytes serializes the result node set (order-independent) of one
+// descendants query.
+func setBytes(ix *Index, start xmlgraph.NodeID, tag string) []byte {
+	var nodes []int
+	ix.Descendants(start, tag, Options{}, func(r Result) bool {
+		nodes = append(nodes, int(r.Node))
+		return true
+	})
+	sort.Ints(nodes)
+	var b bytes.Buffer
+	for _, n := range nodes {
+		fmt.Fprintf(&b, "%d,", n)
+	}
+	return b.Bytes()
+}

@@ -1,6 +1,7 @@
 package flix
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -11,6 +12,22 @@ import (
 	"repro/internal/xmlgraph"
 )
 
+// SnapshotVersion is the current on-disk format version, written right
+// after the "flix" header.  Load refuses snapshots from a newer version
+// with ErrSnapshotVersion instead of misreading them; the live-reindexing
+// generation store depends on this check to skip (not crash on) snapshots
+// a newer binary left behind.
+const SnapshotVersion = 1
+
+// ErrSnapshotVersion reports a snapshot written by a newer format version
+// than this binary understands.
+var ErrSnapshotVersion = errors.New("flix: snapshot format version not supported")
+
+// maxSnapshotMetas bounds the meta-document count declared in a snapshot
+// header, so a corrupt stream fails with an error instead of an
+// out-of-memory allocation.
+const maxSnapshotMetas = 1 << 26
+
 // WriteTo serializes every meta-document index plus the runtime link tables
 // (the data a FliX deployment must persist); the byte count is the "index
 // size" the experiments report (Table 1).  Load restores the index against
@@ -19,6 +36,7 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	var total int64
 	sw := storage.NewWriter(w)
 	sw.Header("flix")
+	sw.Uvarint(SnapshotVersion)
 	sw.Varint(int64(ix.cfg.Kind))
 	sw.Varint(int64(ix.cfg.PartitionSize))
 	sw.Varint(int64(ix.cfg.MinTreeDocs))
@@ -72,6 +90,12 @@ func Load(c *xmlgraph.Collection, r io.Reader) (*Index, error) {
 	if err := sr.Header("flix"); err != nil {
 		return nil, err
 	}
+	if v := sr.Uvarint(); v > SnapshotVersion {
+		if err := sr.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: stream is v%d, this binary reads <= v%d", ErrSnapshotVersion, v, SnapshotVersion)
+	}
 	cfg := Config{
 		Kind:          ConfigKind(sr.Varint()),
 		PartitionSize: int(sr.Varint()),
@@ -82,6 +106,9 @@ func Load(c *xmlgraph.Collection, r io.Reader) (*Index, error) {
 	nMetas := int(sr.Uvarint())
 	if err := sr.Err(); err != nil {
 		return nil, err
+	}
+	if nMetas < 0 || nMetas > maxSnapshotMetas {
+		return nil, fmt.Errorf("flix: unreasonable meta-document count %d in snapshot", nMetas)
 	}
 
 	var set *meta.Set

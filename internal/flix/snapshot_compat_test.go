@@ -1,0 +1,158 @@
+package flix
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/testutil"
+	"repro/internal/xmlgraph"
+)
+
+// goldenCollection regenerates the exact collection the committed fixture
+// was built from: testutil generation is deterministic in the seed, so the
+// collection — and therefore the decomposition the loader validates the
+// snapshot against — is stable across checkouts.
+func goldenCollection() *xmlgraph.Collection {
+	return testutil.Generate(testutil.Linked, 11, 10, 10, 15)
+}
+
+func goldenConfig() Config {
+	return Config{Kind: Hybrid, PartitionSize: 60}
+}
+
+const goldenPath = "testdata/golden-v1.flix"
+
+// TestSnapshotGoldenFixture loads the version-1 snapshot committed under
+// testdata/ and checks it answers queries exactly like a fresh build of the
+// same configuration.  The fixture pins the on-disk format: any
+// serialization change that cannot read existing files breaks this test
+// and must bump SnapshotVersion instead.
+//
+// Regenerate (after an intentional, version-bumped format change) with:
+//
+//	UPDATE_GOLDEN=1 go test -run TestSnapshotGoldenFixture ./internal/flix
+func TestSnapshotGoldenFixture(t *testing.T) {
+	coll := goldenCollection()
+	fresh, err := Build(coll, goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := fresh.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenPath, buf.Len())
+	}
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden fixture (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	ix, err := Load(coll, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("loading golden fixture: %v", err)
+	}
+	if ix.Config() != fresh.Config() {
+		t.Errorf("fixture config = %+v, want %+v", ix.Config(), fresh.Config())
+	}
+	if ix.Describe() != fresh.Describe() {
+		t.Errorf("fixture Describe = %q, fresh build = %q", ix.Describe(), fresh.Describe())
+	}
+	// Byte-identical behavior: every sampled query streams the same
+	// (node, dist) sequence from the restored index and the fresh build.
+	for start := 0; start < coll.NumNodes(); start += 7 {
+		for _, tag := range []string{"a", "b", "c", "d", "e", ""} {
+			want := streamBytes(fresh, xmlgraph.NodeID(start), tag)
+			got := streamBytes(ix, xmlgraph.NodeID(start), tag)
+			if !bytes.Equal(want, got) {
+				t.Fatalf("start %d tag %q: fixture stream %s != fresh %s", start, tag, got, want)
+			}
+		}
+	}
+}
+
+// TestSnapshotFutureVersion checks a snapshot from a newer format version
+// is refused with the typed sentinel — the downgrade path a mixed-version
+// deployment hits when an old binary warm-starts from a new generation
+// snapshot.
+func TestSnapshotFutureVersion(t *testing.T) {
+	var buf bytes.Buffer
+	sw := storage.NewWriter(&buf)
+	sw.Header("flix")
+	sw.Uvarint(SnapshotVersion + 1)
+	if _, err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(goldenCollection(), bytes.NewReader(buf.Bytes()))
+	if !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("Load(v%d stream) = %v, want ErrSnapshotVersion", SnapshotVersion+1, err)
+	}
+}
+
+// TestSnapshotCorrupt feeds damaged snapshots to Load: every truncation and
+// every corrupted prefix byte must produce an error (or, for flips beyond
+// the validated region, at worst a clean load) — never a panic and never an
+// index for a stream whose header or tables are broken.
+func TestSnapshotCorrupt(t *testing.T) {
+	coll := goldenCollection()
+	ix, err := Build(coll, goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	for _, n := range []int{0, 1, 3, len(raw) / 4, len(raw) / 2, len(raw) - 1} {
+		if _, err := Load(coll, bytes.NewReader(raw[:n])); err == nil {
+			t.Errorf("Load of %d/%d-byte truncation succeeded", n, len(raw))
+		}
+	}
+	// The magic header must be enforced byte for byte.
+	for i := 0; i < 4; i++ {
+		bad := bytes.Clone(raw)
+		bad[i] ^= 0xff
+		if _, err := Load(coll, bytes.NewReader(bad)); err == nil {
+			t.Errorf("Load with corrupted header byte %d succeeded", i)
+		}
+	}
+	// Arbitrary single-byte corruption anywhere in the stream: Load may
+	// reject it or (for don't-care bytes) still produce an index, but it
+	// must never panic.  The loop re-runs Load len(raw) times, so keep the
+	// fixture small.
+	for i := range raw {
+		bad := bytes.Clone(raw)
+		bad[i] ^= 0x55
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Load panicked on corrupted byte %d: %v", i, r)
+				}
+			}()
+			_, _ = Load(coll, bytes.NewReader(bad))
+		}()
+	}
+}
+
+// streamBytes serializes one exact-order descendants stream.
+func streamBytes(ix *Index, start xmlgraph.NodeID, tag string) []byte {
+	var b bytes.Buffer
+	ix.Descendants(start, tag, Options{ExactOrder: true}, func(r Result) bool {
+		fmt.Fprintf(&b, "%d:%d;", r.Node, r.Dist)
+		return true
+	})
+	return b.Bytes()
+}

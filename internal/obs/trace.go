@@ -112,8 +112,18 @@ type Trace struct {
 
 	pops, entries, dupDrops, linkHops, results int64
 	cacheHit                                   bool
+	generation                                 uint64
 	metaOrder                                  []int32
 	metas                                      map[int32]*MetaVisit
+}
+
+// SetGeneration tags the trace with the index generation that served the
+// query, so EXPLAIN output and slow-query log lines remain attributable
+// after a live reindex hot-swaps the index.
+func (t *Trace) SetGeneration(g uint64) {
+	t.mu.Lock()
+	t.generation = g
+	t.mu.Unlock()
 }
 
 // NewTrace starts a trace.  eventLimit bounds the raw event list (<= 0
@@ -231,17 +241,18 @@ func (t *Trace) CacheMiss() {
 // usable afterwards (the server summarizes once for the response and again
 // for the slow-query log).
 type Summary struct {
-	Elapsed   time.Duration `json:"elapsedNs"`
-	Pops      int64         `json:"pops"`
-	Entries   int64         `json:"entries"`
-	DupDrops  int64         `json:"dupDrops"`
-	LinkHops  int64         `json:"linkHops"`
-	Results   int64         `json:"results"`
-	CacheHit  bool          `json:"cacheHit"`
-	Metas     []MetaVisit   `json:"metas"`
-	Events    []Event       `json:"events,omitempty"`
-	Skipped   int64         `json:"eventsSkipped,omitempty"`
-	NumEvents int           `json:"numEvents"`
+	Elapsed    time.Duration `json:"elapsedNs"`
+	Generation uint64        `json:"generation"`
+	Pops       int64         `json:"pops"`
+	Entries    int64         `json:"entries"`
+	DupDrops   int64         `json:"dupDrops"`
+	LinkHops   int64         `json:"linkHops"`
+	Results    int64         `json:"results"`
+	CacheHit   bool          `json:"cacheHit"`
+	Metas      []MetaVisit   `json:"metas"`
+	Events     []Event       `json:"events,omitempty"`
+	Skipped    int64         `json:"eventsSkipped,omitempty"`
+	NumEvents  int           `json:"numEvents"`
 }
 
 // Summary snapshots the trace.  withEvents includes the raw event list
@@ -250,15 +261,16 @@ func (t *Trace) Summary(withEvents bool) Summary {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	s := Summary{
-		Elapsed:   time.Since(t.start),
-		Pops:      t.pops,
-		Entries:   t.entries,
-		DupDrops:  t.dupDrops,
-		LinkHops:  t.linkHops,
-		Results:   t.results,
-		CacheHit:  t.cacheHit,
-		Skipped:   t.skipped,
-		NumEvents: len(t.events),
+		Elapsed:    time.Since(t.start),
+		Generation: t.generation,
+		Pops:       t.pops,
+		Entries:    t.entries,
+		DupDrops:   t.dupDrops,
+		LinkHops:   t.linkHops,
+		Results:    t.results,
+		CacheHit:   t.cacheHit,
+		Skipped:    t.skipped,
+		NumEvents:  len(t.events),
 	}
 	s.Metas = make([]MetaVisit, 0, len(t.metaOrder))
 	for _, mi := range t.metaOrder {
@@ -277,6 +289,9 @@ func (s Summary) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "query plan: %d pops, %d entries (%d dup-dropped), %d link hops, %d results in %s",
 		s.Pops, s.Entries, s.DupDrops, s.LinkHops, s.Results, s.Elapsed.Round(time.Microsecond))
+	if s.Generation > 0 {
+		fmt.Fprintf(&b, " [gen %d]", s.Generation)
+	}
 	if s.CacheHit {
 		b.WriteString(" [cache hit]")
 	}

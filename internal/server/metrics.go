@@ -16,6 +16,24 @@ import (
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	g := s.gen.Load()
+
+	p("# HELP flix_ready Whether an index generation is live (readiness).\n")
+	p("# TYPE flix_ready gauge\n")
+	if g != nil {
+		p("flix_ready 1\n")
+	} else {
+		p("flix_ready 0\n")
+	}
+	p("# HELP flix_index_generation Current index generation number.\n")
+	p("# TYPE flix_index_generation gauge\n")
+	p("flix_index_generation %d\n", s.Generation())
+	p("# HELP flix_index_swaps_total Hot-swaps of the serving index (installs past the first).\n")
+	p("# TYPE flix_index_swaps_total counter\n")
+	p("flix_index_swaps_total %d\n", s.swaps.Load())
+	p("# HELP flix_requests_not_ready_total Requests answered 503 before the first generation.\n")
+	p("# TYPE flix_requests_not_ready_total counter\n")
+	p("flix_requests_not_ready_total %d\n", s.notReady.Load())
 
 	p("# HELP flix_requests_total Query requests received, by endpoint.\n")
 	p("# TYPE flix_requests_total counter\n")
@@ -45,17 +63,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeHistogram(p, "flix_request_duration_seconds", "endpoint", ep, s.latency[ep].Snapshot())
 	}
 
-	p("# HELP flix_strategy_request_duration_seconds Query latency by the indexing strategy of the start node's meta document.\n")
+	p("# HELP flix_strategy_request_duration_seconds Query latency by the indexing strategy of the start node's meta document (current generation).\n")
 	p("# TYPE flix_strategy_request_duration_seconds histogram\n")
-	for _, st := range sortedKeys(s.stratLatency) {
-		writeHistogram(p, "flix_strategy_request_duration_seconds", "strategy", st, s.stratLatency[st].Snapshot())
+	if g != nil {
+		for _, st := range sortedKeys(g.stratLatency) {
+			writeHistogram(p, "flix_strategy_request_duration_seconds", "strategy", st, g.stratLatency[st].Snapshot())
+		}
 	}
 
 	p("# HELP flix_inflight_requests Queries currently evaluating.\n")
 	p("# TYPE flix_inflight_requests gauge\n")
 	p("flix_inflight_requests %d\n", s.InFlight())
 
-	snap := s.ix.Stats().Snapshot()
+	// Everything below describes the serving generation; before the first
+	// install there is none to describe.
+	if g == nil {
+		return
+	}
+
+	snap := g.ix.Stats().Snapshot()
 	p("# HELP flix_engine_queries_total Completed index evaluations.\n")
 	p("# TYPE flix_engine_queries_total counter\n")
 	p("flix_engine_queries_total %d\n", snap.Queries)
@@ -75,8 +101,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# TYPE flix_engine_results_total counter\n")
 	p("flix_engine_results_total %d\n", snap.Results)
 
-	if s.cache != nil {
-		hits, misses := s.cache.Counts()
+	if g.cache != nil {
+		hits, misses := g.cache.Counts()
 		p("# HELP flix_cache_hits_total Query-cache hits.\n")
 		p("# TYPE flix_cache_hits_total counter\n")
 		p("flix_cache_hits_total %d\n", hits)
@@ -85,19 +111,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p("flix_cache_misses_total %d\n", misses)
 		p("# HELP flix_cache_entries Cached query streams.\n")
 		p("# TYPE flix_cache_entries gauge\n")
-		p("flix_cache_entries %d\n", s.cache.Len())
+		p("flix_cache_entries %d\n", g.cache.Len())
 	}
 
 	p("# HELP flix_index_meta_documents Meta documents in the index.\n")
 	p("# TYPE flix_index_meta_documents gauge\n")
-	p("flix_index_meta_documents %d\n", s.ix.NumMetaDocuments())
+	p("flix_index_meta_documents %d\n", g.ix.NumMetaDocuments())
 	p("# HELP flix_index_runtime_links Links followed at query time.\n")
 	p("# TYPE flix_index_runtime_links gauge\n")
-	p("flix_index_runtime_links %d\n", s.ix.RuntimeLinks())
+	p("flix_index_runtime_links %d\n", g.ix.RuntimeLinks())
 
 	p("# HELP flix_index_strategy_meta_documents Meta documents per indexing strategy.\n")
 	p("# TYPE flix_index_strategy_meta_documents gauge\n")
-	counts := s.ix.StrategyCounts()
+	counts := g.ix.StrategyCounts()
 	names := make([]string, 0, len(counts))
 	for n := range counts {
 		names = append(names, n)
@@ -107,7 +133,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p("flix_index_strategy_meta_documents{strategy=%q} %d\n", n, counts[n])
 	}
 
-	bs := s.ix.BuildStats()
+	bs := g.ix.BuildStats()
 	p("# HELP flix_build_partition_seconds Build phase: meta-document partitioning time.\n")
 	p("# TYPE flix_build_partition_seconds gauge\n")
 	p("flix_build_partition_seconds %s\n", formatFloat(bs.Partition.Seconds()))

@@ -210,7 +210,7 @@ func TestMetricsStrategyHistogram(t *testing.T) {
 	resp.Body.Close()
 	total := func(e *exposition) float64 {
 		sum := 0.0
-		for name := range s.ix.StrategyCounts() {
+		for name := range s.CurrentIndex().StrategyCounts() {
 			sum += e.samples[fmt.Sprintf("flix_strategy_request_duration_seconds_count{strategy=%q}", name)]
 		}
 		return sum

@@ -102,30 +102,53 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server serves one immutable Index.
+// generation is one immutable serving epoch: an index, the query cache
+// fronting it, and the per-strategy latency histograms for the strategies
+// present in that index.  A live reindex installs a complete new generation
+// with a single atomic pointer store; requests capture the pointer once at
+// admission, so an in-flight query finishes entirely on the generation it
+// started on while new arrivals already see the next one.  The cache is
+// part of the generation, which enforces the purge-on-swap invariant for
+// free: a new index never serves results memoized from an old one.
+type generation struct {
+	num          uint64
+	ix           *flix.Index
+	cache        *flix.QueryCache
+	stratLatency map[string]*obs.Histogram
+	installed    time.Time
+	reason       string
+	warmed       int // queries pre-warmed from the previous generation's cache
+}
+
+// Server serves a FliX index that can be hot-swapped under live traffic.
 type Server struct {
-	ix    *flix.Index
-	coll  *xmlgraph.Collection
-	cache *flix.QueryCache
-	onto  *ontology.Ontology
-	cfg   Config
+	coll *xmlgraph.Collection
+	onto *ontology.Ontology
+	cfg  Config
+
+	// gen is the current serving generation; nil until the first Install
+	// (readiness: /healthz and the query endpoints answer 503 meanwhile).
+	gen       atomic.Pointer[generation]
+	genSeq    atomic.Uint64
+	swaps     atomic.Int64
+	reindexer atomic.Pointer[reindexerBox]
 
 	sem     chan struct{}
 	started time.Time
 
-	// latency holds one lock-free histogram per query endpoint;
-	// stratLatency one per indexing strategy present in the index (the
-	// request is attributed to the strategy serving its start node's meta
-	// document).  Both maps are built in New and read-only afterwards, so
-	// concurrent handler access needs no lock.
-	latency      map[string]*obs.Histogram
-	stratLatency map[string]*obs.Histogram
+	// latency holds one lock-free histogram per query endpoint, across
+	// generations (per-strategy histograms live in the generation).  The
+	// map is built in New and read-only afterwards, so concurrent handler
+	// access needs no lock.
+	latency map[string]*obs.Histogram
 
-	// Serving counters (engine-level counters live in ix.Stats()).
+	// Serving counters (engine-level counters live in the generation's
+	// Index.Stats()).
 	reqDescendants atomic.Int64
 	reqConnected   atomic.Int64
 	reqQuery       atomic.Int64
 	shed           atomic.Int64
+	notReady       atomic.Int64
 	timeouts       atomic.Int64
 	clientErrors   atomic.Int64
 	slowQueries    atomic.Int64
@@ -140,13 +163,22 @@ type Server struct {
 	queryHook func()
 }
 
-// New wraps a built index.  cfg zero-value fields take the documented
-// defaults.
+// New wraps a built index as generation 1.  cfg zero-value fields take the
+// documented defaults.
 func New(ix *flix.Index, cfg Config) *Server {
+	s := NewPending(ix.Collection(), cfg)
+	s.Install(ix, "initial index")
+	return s
+}
+
+// NewPending returns a server with no index yet: /healthz reports 503 and
+// the query endpoints shed with 503 until Install delivers the first
+// generation.  It lets flixd bind its port and expose health immediately
+// while the initial build runs in the background.
+func NewPending(coll *xmlgraph.Collection, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	s := &Server{
-		ix:      ix,
-		coll:    ix.Collection(),
+	return &Server{
+		coll:    coll,
 		cfg:     cfg,
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 		started: time.Now(),
@@ -155,16 +187,100 @@ func New(ix *flix.Index, cfg Config) *Server {
 			"connected":   new(obs.Histogram),
 			"query":       new(obs.Histogram),
 		},
+	}
+}
+
+// Install atomically hot-swaps in a new index and returns its generation
+// number.  The index must be built over the server's collection.  In-flight
+// queries keep the generation they were admitted under; the new generation
+// starts with a fresh query cache and fresh per-strategy histograms.
+func (s *Server) Install(ix *flix.Index, reason string) uint64 {
+	if ix.Collection() != s.coll {
+		panic("server: Install with an index built over a different collection")
+	}
+	g := &generation{
+		num:          s.genSeq.Add(1),
+		ix:           ix,
 		stratLatency: make(map[string]*obs.Histogram),
+		installed:    time.Now(),
+		reason:       reason,
 	}
 	for name := range ix.StrategyCounts() {
-		s.stratLatency[name] = new(obs.Histogram)
+		g.stratLatency[name] = new(obs.Histogram)
 	}
-	if cfg.CacheSize > 0 {
-		s.cache = ix.NewQueryCache(cfg.CacheSize)
-		s.cache.StoreBounded = true
+	if s.cfg.CacheSize > 0 {
+		g.cache = ix.NewQueryCache(s.cfg.CacheSize)
+		g.cache.StoreBounded = true
+		// Take over the outgoing generation's working set before going
+		// live: the warming evaluations run here, on the installer's
+		// goroutine, so post-swap clients hit a warm cache instead of
+		// re-evaluating the whole hot set at once (the latency cliff a
+		// plain purge-on-swap would cause).
+		if old := s.gen.Load(); old != nil && old.cache != nil {
+			g.warmed = g.cache.Warm(old.cache.HotKeys(0), nil)
+		}
 	}
-	return s
+	s.gen.Store(g)
+	if g.num > 1 {
+		s.swaps.Add(1)
+	}
+	return g.num
+}
+
+// Ready reports whether a generation is live.
+func (s *Server) Ready() bool { return s.gen.Load() != nil }
+
+// CurrentIndex returns the serving index, or nil before the first Install.
+// Together with Generation, StrategyLatency and Install it forms the
+// rebuild.Target surface the background re-optimizer works against.
+func (s *Server) CurrentIndex() *flix.Index {
+	if g := s.gen.Load(); g != nil {
+		return g.ix
+	}
+	return nil
+}
+
+// Generation returns the current generation number (0 before the first
+// Install).
+func (s *Server) Generation() uint64 {
+	if g := s.gen.Load(); g != nil {
+		return g.num
+	}
+	return 0
+}
+
+// Swaps returns how many hot-swaps have happened (installs past the first).
+func (s *Server) Swaps() int64 { return s.swaps.Load() }
+
+// StrategyLatency snapshots the current generation's per-strategy latency
+// histograms — the signal the re-optimizer uses to derive strategy
+// overrides.
+func (s *Server) StrategyLatency() map[string]obs.HistSnapshot {
+	g := s.gen.Load()
+	if g == nil {
+		return nil
+	}
+	out := make(map[string]obs.HistSnapshot, len(g.stratLatency))
+	for name, h := range g.stratLatency {
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
+// reindexerBox wraps the Reindexer interface value so it can sit behind an
+// atomic pointer: flixd installs it after the handler is already serving.
+type reindexerBox struct{ r Reindexer }
+
+// SetReindexer installs the background re-optimizer driving
+// POST /v1/admin/reindex.  Safe to call while the handler is serving.
+func (s *Server) SetReindexer(r Reindexer) { s.reindexer.Store(&reindexerBox{r: r}) }
+
+// getReindexer returns the installed re-optimizer, or nil.
+func (s *Server) getReindexer() Reindexer {
+	if b := s.reindexer.Load(); b != nil {
+		return b.r
+	}
+	return nil
 }
 
 // SetOntology installs the tag-similarity ontology used by /v1/query for
@@ -185,6 +301,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/descendants", s.admit("descendants", &s.reqDescendants, s.handleDescendants))
 	mux.HandleFunc("/v1/connected", s.admit("connected", &s.reqConnected, s.handleConnected))
 	mux.HandleFunc("/v1/query", s.admit("query", &s.reqQuery, s.handleQuery))
+	mux.HandleFunc("/v1/admin/reindex", s.handleReindex)
 	return s.withRequestID(s.logged(mux))
 }
 
@@ -193,9 +310,10 @@ func (s *Server) Handler() http.Handler {
 type reqInfo struct {
 	id          string
 	endpoint    string
-	strategy    string     // set by the handler once the start node is known
-	trace       *obs.Trace // non-nil when traced (?trace=1 or slow-query sample)
-	traceWanted bool       // client asked for the trace in the response
+	strategy    string      // set by the handler once the start node is known
+	gen         *generation // serving generation captured at admission
+	trace       *obs.Trace  // non-nil when traced (?trace=1 or slow-query sample)
+	traceWanted bool        // client asked for the trace in the response
 }
 
 type ctxKey int
@@ -230,6 +348,15 @@ func (s *Server) withRequestID(next http.Handler) http.Handler {
 func (s *Server) admit(endpoint string, counter *atomic.Int64, h func(http.ResponseWriter, *http.Request, context.Context)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		counter.Add(1)
+		// Readiness gate: before the first generation is installed there is
+		// nothing to query; answer 503 without consuming the semaphore.
+		g := s.gen.Load()
+		if g == nil {
+			s.notReady.Add(1)
+			w.Header().Set("Retry-After", "1")
+			s.fail(w, http.StatusServiceUnavailable, "index not ready: initial build in flight")
+			return
+		}
 		select {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
@@ -249,9 +376,11 @@ func (s *Server) admit(endpoint string, counter *atomic.Int64, h func(http.Respo
 		}
 		ri := reqInfoFrom(r.Context())
 		ri.endpoint = endpoint
+		ri.gen = g
 		ri.traceWanted = boolParam(r.URL.Query().Get("trace"))
 		if ri.traceWanted || s.sampleSlow() {
 			ri.trace = obs.NewTrace(s.cfg.TraceEventLimit)
+			ri.trace.SetGeneration(g.num)
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
@@ -278,8 +407,8 @@ func (s *Server) observe(ri *reqInfo, elapsed time.Duration) {
 	if h := s.latency[ri.endpoint]; h != nil {
 		h.Observe(elapsed)
 	}
-	if ri.strategy != "" {
-		if h := s.stratLatency[ri.strategy]; h != nil {
+	if ri.strategy != "" && ri.gen != nil {
+		if h := ri.gen.stratLatency[ri.strategy]; h != nil {
 			h.Observe(elapsed)
 		}
 	}
@@ -295,6 +424,16 @@ func (s *Server) observe(ri *reqInfo, elapsed time.Duration) {
 				ri.id, ri.endpoint, ri.strategy, elapsed.Round(time.Microsecond), b)
 		}
 	}
+}
+
+// genFor returns the generation a request was admitted under, falling back
+// to the live pointer for handlers invoked without the admit wrapper
+// (direct tests).
+func (s *Server) genFor(ctx context.Context) *generation {
+	if ri := reqInfoFrom(ctx); ri.gen != nil {
+		return ri.gen
+	}
+	return s.gen.Load()
 }
 
 // expired reports whether the request deadline passed during handling.  It
@@ -407,7 +546,8 @@ func (s *Server) handleDescendants(w http.ResponseWriter, r *http.Request, ctx c
 		return
 	}
 	ri := reqInfoFrom(ctx)
-	ri.strategy = s.ix.StrategyAt(start)
+	g := s.genFor(ctx)
+	ri.strategy = g.ix.StrategyAt(start)
 	opts := flix.Options{
 		MaxResults:  k,
 		MaxDist:     int32(maxDist),
@@ -421,19 +561,20 @@ func (s *Server) handleDescendants(w http.ResponseWriter, r *http.Request, ctx c
 		results = append(results, s.nodeJSON(res.Node, res.Dist))
 		return true
 	}
-	if s.cache != nil {
-		s.cache.Descendants(start, q.Get("tag"), opts, emit)
+	if g.cache != nil {
+		g.cache.Descendants(start, q.Get("tag"), opts, emit)
 	} else {
-		s.ix.Descendants(start, q.Get("tag"), opts, emit)
+		g.ix.Descendants(start, q.Get("tag"), opts, emit)
 	}
 	timedOut := expired(ctx)
 	if timedOut {
 		s.timeouts.Add(1)
 	}
 	resp := map[string]any{
-		"results":  results,
-		"count":    len(results),
-		"timedOut": timedOut,
+		"results":    results,
+		"count":      len(results),
+		"timedOut":   timedOut,
+		"generation": g.num,
 	}
 	if ri.traceWanted && ri.trace != nil {
 		resp["trace"] = ri.trace.Summary(true)
@@ -461,13 +602,14 @@ func (s *Server) handleConnected(w http.ResponseWriter, r *http.Request, ctx con
 		return
 	}
 	ri := reqInfoFrom(ctx)
-	ri.strategy = s.ix.StrategyAt(from)
-	dist, ok := s.ix.ConnectedOpts(from, to, flix.Options{MaxDist: int32(maxDist), Cancel: ctx.Done(), Tracer: ri.trace})
+	g := s.genFor(ctx)
+	ri.strategy = g.ix.StrategyAt(from)
+	dist, ok := g.ix.ConnectedOpts(from, to, flix.Options{MaxDist: int32(maxDist), Cancel: ctx.Done(), Tracer: ri.trace})
 	timedOut := expired(ctx)
 	if timedOut {
 		s.timeouts.Add(1)
 	}
-	resp := map[string]any{"connected": ok, "timedOut": timedOut}
+	resp := map[string]any{"connected": ok, "timedOut": timedOut, "generation": g.num}
 	if ok {
 		resp["dist"] = dist
 	}
@@ -494,8 +636,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, ctx context
 		return
 	}
 	ri := reqInfoFrom(ctx)
+	g := s.genFor(ctx)
 	eval := &query.Evaluator{
-		Index:      s.ix,
+		Index:      g.ix,
 		Ontology:   s.onto,
 		MaxResults: k,
 		Cancel:     ctx.Done(),
@@ -520,9 +663,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, ctx context
 		})
 	}
 	resp := map[string]any{
-		"results":  out,
-		"count":    len(out),
-		"timedOut": timedOut,
+		"results":    out,
+		"count":      len(out),
+		"timedOut":   timedOut,
+		"generation": g.num,
 	}
 	if ri.traceWanted && ri.trace != nil {
 		resp["trace"] = ri.trace.Summary(true)
@@ -530,10 +674,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, ctx context
 	s.ok(w, resp)
 }
 
+// handleHealthz reports readiness, not just liveness: before the first
+// index generation is installed the process is alive but cannot answer a
+// single query, and a load balancer must not send it traffic — hence 503
+// until Install delivers generation 1.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	g := s.gen.Load()
+	if g == nil {
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{ //nolint:errcheck
+			"status": "starting",
+			"ready":  false,
+			"uptime": time.Since(s.started).Round(time.Millisecond).String(),
+		})
+		return
+	}
 	s.ok(w, map[string]any{
-		"status": "ok",
-		"uptime": time.Since(s.started).Round(time.Millisecond).String(),
+		"status":     "ok",
+		"ready":      true,
+		"generation": g.num,
+		"swaps":      s.swaps.Load(),
+		"uptime":     time.Since(s.started).Round(time.Millisecond).String(),
 	})
 }
 
@@ -541,14 +704,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // self-tuning advice for the live load, cache effectiveness and the
 // serving-layer counters in one JSON document.
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
-	snap := s.ix.Stats().Snapshot()
-	advice := s.ix.Advise()
+	g := s.gen.Load()
+	if g == nil {
+		s.ok(w, map[string]any{
+			"ready": false,
+			"server": map[string]any{
+				"notReady": s.notReady.Load(),
+				"uptime":   time.Since(s.started).Round(time.Millisecond).String(),
+			},
+		})
+		return
+	}
+	snap := g.ix.Stats().Snapshot()
+	advice := g.ix.Advise()
 	resp := map[string]any{
+		"generation": map[string]any{
+			"current":       g.num,
+			"installedAt":   g.installed.Format(time.RFC3339Nano),
+			"reason":        g.reason,
+			"swaps":         s.swaps.Load(),
+			"warmedQueries": g.warmed,
+		},
 		"index": map[string]any{
-			"config":        s.ix.Config().Kind.String(),
-			"metaDocuments": s.ix.NumMetaDocuments(),
-			"runtimeLinks":  s.ix.RuntimeLinks(),
-			"strategies":    s.ix.StrategyCounts(),
+			"config":        g.ix.Config().Kind.String(),
+			"metaDocuments": g.ix.NumMetaDocuments(),
+			"runtimeLinks":  g.ix.RuntimeLinks(),
+			"strategies":    g.ix.StrategyCounts(),
 		},
 		"queryStats": map[string]any{
 			"queries":          snap.Queries,
@@ -561,8 +742,8 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			"linkHopsPerQuery": snap.LinkHopsPerQuery(),
 			"dupDropRatio":     snap.DupDropRatio(),
 		},
-		"latency": s.latencyJSON(),
-		"build":   buildJSON(s.ix.BuildStats()),
+		"latency": s.latencyJSON(g),
+		"build":   buildJSON(g.ix.BuildStats()),
 		"advice": map[string]any{
 			"rebuild": advice.Rebuild,
 			"reason":  advice.Reason,
@@ -571,6 +752,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			"inFlight":    s.InFlight(),
 			"maxInFlight": s.cfg.MaxInFlight,
 			"shed":        s.shed.Load(),
+			"notReady":    s.notReady.Load(),
 			"timeouts":    s.timeouts.Load(),
 			"slowQueries": s.slowQueries.Load(),
 			"requests": map[string]int64{
@@ -586,21 +768,24 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			"partitionSize": advice.Config.PartitionSize,
 		}
 	}
-	if s.cache != nil {
-		hits, misses := s.cache.Counts()
+	if rx := s.getReindexer(); rx != nil {
+		resp["reindex"] = rx.Status()
+	}
+	if g.cache != nil {
+		hits, misses := g.cache.Counts()
 		resp["cache"] = map[string]any{
-			"entries": s.cache.Len(),
+			"entries": g.cache.Len(),
 			"hits":    hits,
 			"misses":  misses,
-			"hitRate": s.cache.HitRate(),
+			"hitRate": g.cache.HitRate(),
 		}
 	}
 	s.ok(w, resp)
 }
 
-// latencyJSON summarizes the per-endpoint and per-strategy latency
-// histograms for /statsz.
-func (s *Server) latencyJSON() map[string]any {
+// latencyJSON summarizes the per-endpoint and the generation's per-strategy
+// latency histograms for /statsz.
+func (s *Server) latencyJSON(g *generation) map[string]any {
 	summ := func(hs map[string]*obs.Histogram) map[string]any {
 		out := make(map[string]any, len(hs))
 		for name, h := range hs {
@@ -620,7 +805,7 @@ func (s *Server) latencyJSON() map[string]any {
 	}
 	return map[string]any{
 		"endpoints":  summ(s.latency),
-		"strategies": summ(s.stratLatency),
+		"strategies": summ(g.stratLatency),
 	}
 }
 

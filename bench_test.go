@@ -325,6 +325,98 @@ func BenchmarkAblationHopiDC(b *testing.B) {
 	}
 }
 
+// BenchmarkHotPathDescendants measures the steady-state serving hot path on
+// the recommended Hybrid configuration with allocation reporting; CI gates
+// on its allocs/op staying at zero (see the hotpath experiment in
+// cmd/flixbench).
+func BenchmarkHotPathDescendants(b *testing.B) {
+	e := experiment(b)
+	bu := built(b, bench.Entry{Label: "Hybrid",
+		Config: flix.Config{Kind: flix.Hybrid, PartitionSize: 5000}})
+	drop := func(flix.Result) bool { return true }
+	opts := flix.Options{MaxResults: 100}
+	for i := 0; i < 3; i++ { // warm the scratch pool and lazy index state
+		bu.Index.Descendants(e.Start, "article", opts, drop)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bu.Index.Descendants(e.Start, "article", opts, drop)
+	}
+}
+
+// BenchmarkHotPathDescendantsTraced is the same workload with a tracer
+// attached — the allocs/op difference is the cost of observability.
+func BenchmarkHotPathDescendantsTraced(b *testing.B) {
+	e := experiment(b)
+	bu := built(b, bench.Entry{Label: "Hybrid",
+		Config: flix.Config{Kind: flix.Hybrid, PartitionSize: 5000}})
+	drop := func(flix.Result) bool { return true }
+	for i := 0; i < 3; i++ {
+		bu.Index.Descendants(e.Start, "article", flix.Options{MaxResults: 100}, drop)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := flix.Options{MaxResults: 100, Tracer: flix.NewTrace(256)}
+		bu.Index.Descendants(e.Start, "article", opts, drop)
+	}
+}
+
+// BenchmarkHotPathTypeDescendants measures the multi-start A//B hot path
+// with allocation reporting.
+func BenchmarkHotPathTypeDescendants(b *testing.B) {
+	bu := built(b, bench.Entry{Label: "Hybrid",
+		Config: flix.Config{Kind: flix.Hybrid, PartitionSize: 5000}})
+	drop := func(flix.Result) bool { return true }
+	opts := flix.Options{MaxResults: 100}
+	for i := 0; i < 3; i++ {
+		bu.Index.TypeDescendants("inproceedings", "article", opts, drop)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bu.Index.TypeDescendants("inproceedings", "article", opts, drop)
+	}
+}
+
+// BenchmarkHotPathTopK measures the ranked top-k pipeline with allocation
+// reporting; it rides on the same pooled evaluator underneath.
+func BenchmarkHotPathTopK(b *testing.B) {
+	bu := built(b, bench.Entry{Label: "Hybrid",
+		Config: flix.Config{Kind: flix.Hybrid, PartitionSize: 5000}})
+	ev := &query.Evaluator{Index: bu.Index}
+	q, err := query.Parse("//inproceedings//article")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev.EvaluateTopK(q, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.EvaluateTopK(q, 10)
+	}
+}
+
+// BenchmarkHotPathReference runs the frozen pre-optimization evaluator on
+// the same workload as BenchmarkHotPathDescendants: the ns/op and allocs/op
+// gap is the effect of the pooled scratch + 4-ary frontier rewrite.
+func BenchmarkHotPathReference(b *testing.B) {
+	e := experiment(b)
+	bu := built(b, bench.Entry{Label: "Hybrid",
+		Config: flix.Config{Kind: flix.Hybrid, PartitionSize: 5000}})
+	drop := func(flix.Result) bool { return true }
+	opts := flix.Options{MaxResults: 100}
+	for i := 0; i < 3; i++ {
+		bu.Index.ReferenceDescendants(e.Start, "article", opts, drop)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bu.Index.ReferenceDescendants(e.Start, "article", opts, drop)
+	}
+}
+
 // BenchmarkAblationTopK compares full ranked evaluation against the
 // Fagin-style threshold-algorithm top-k (§3.1) on the DBLP collection.
 func BenchmarkAblationTopK(b *testing.B) {

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	flixbench [-docs 6210] [-seed 42] [-exp all|table1|figure5|errors|conn|scale|hetero|serving|build|swap]
+//	flixbench [-docs 6210] [-seed 42] [-exp all|table1|figure5|errors|conn|scale|hetero|serving|build|swap|hotpath]
 //
 // The scale and hetero experiments go beyond the paper's evaluation and
 // cover its §7 future work: scalability with growing collections and
@@ -34,7 +34,7 @@ func main() {
 	log.SetPrefix("flixbench: ")
 	docs := flag.Int("docs", 6210, "number of publication documents (paper: 6210)")
 	seed := flag.Int64("seed", 42, "generator seed")
-	exp := flag.String("exp", "all", "experiment: all | table1 | figure5 | errors | conn | scale | hetero | serving | build | swap")
+	exp := flag.String("exp", "all", "experiment: all | table1 | figure5 | errors | conn | scale | hetero | serving | build | swap | hotpath")
 	pairs := flag.Int("pairs", 200, "connection-test pairs")
 	closure := flag.Bool("closure", false, "also build the full transitive closure as the Table 1 size reference (slow)")
 	servingOut := flag.String("serving-out", "BENCH_serving.json", "output file for the serving experiment's machine-readable results")
@@ -42,6 +42,8 @@ func main() {
 	swapOut := flag.String("swap-out", "BENCH_swap.json", "output file for the swap experiment's machine-readable results")
 	swapN := flag.Int("swaps", 5, "hot-swaps to fire during the swap experiment")
 	swapWorkers := flag.Int("swap-workers", 0, "concurrent query workers in the swap experiment (0 = scale with CPUs)")
+	hotpathOut := flag.String("hotpath-out", "BENCH_hotpath.json", "output file for the hotpath experiment's machine-readable results")
+	hotpathSpeedup := flag.Float64("hotpath-speedup", 1.3, "minimum descendants speedup over the reference evaluator the hotpath experiment accepts (0 disables)")
 	flag.Parse()
 
 	run := map[string]bool{}
@@ -68,6 +70,9 @@ func main() {
 	}
 	if run["swap"] {
 		swapExperiment(*docs, *seed, *swapOut, *swapN, *swapWorkers)
+	}
+	if run["hotpath"] {
+		hotpathExperiment(*docs, *seed, *hotpathOut, *hotpathSpeedup)
 	}
 	if !run["table1"] && !run["figure5"] && !run["errors"] && !run["conn"] {
 		return

@@ -21,7 +21,9 @@ package apex
 import (
 	"fmt"
 	"io"
+	"slices"
 	"sort"
+	"sync"
 
 	"repro/internal/lgraph"
 	"repro/internal/pathindex"
@@ -44,6 +46,19 @@ type Index struct {
 	// reachTags[c] is a bitset over tags: which tags are reachable from
 	// class c (including c's own tag).  reachedTags is the reverse.
 	reachTags, reachedTags []bitset
+
+	// bfs pools bfsScratch values so steady-state traversal probes
+	// allocate nothing.
+	bfs sync.Pool
+}
+
+// bfsScratch is the reusable state of one levelBFS: the visited table is
+// stamped with a per-use tick (clearing it between probes is bumping the
+// tick), and the two level slices retain their capacity.
+type bfsScratch struct {
+	seen        []int64
+	tick        int64
+	level, next []int32
 }
 
 var _ pathindex.Index = (*Index)(nil)
@@ -334,38 +349,49 @@ func (idx *Index) levelBFS(x int32, reverse bool, tag lgraph.Tag, wildcard bool,
 	if reverse {
 		reach = idx.reachedTags
 	}
-	seen := map[int32]struct{}{x: {}}
-	level := []int32{x}
+	bs, _ := idx.bfs.Get().(*bfsScratch)
+	if bs == nil {
+		bs = &bfsScratch{seen: make([]int64, g.NumNodes())}
+	}
+	bs.tick++
+	tick := bs.tick
+	bs.seen[x] = tick
+	level := append(bs.level[:0], x)
+	next := bs.next[:0]
 	d := int32(0)
 	for len(level) > 0 {
-		sort.Slice(level, func(i, j int) bool { return level[i] < level[j] })
+		slices.Sort(level)
 		for _, u := range level {
 			if wildcard || g.Tag(u) == tag {
 				if !fn(u, d) {
+					bs.level, bs.next = level[:0], next[:0]
+					idx.bfs.Put(bs)
 					return
 				}
 			}
 		}
-		var next []int32
+		next = next[:0]
 		for _, u := range level {
 			adj := g.Succs(u)
 			if reverse {
 				adj = g.Preds(u)
 			}
 			for _, v := range adj {
-				if _, ok := seen[v]; ok {
+				if bs.seen[v] == tick {
 					continue
 				}
 				if !wildcard && !reach[idx.class[v]].get(int(tag)) {
 					continue
 				}
-				seen[v] = struct{}{}
+				bs.seen[v] = tick
 				next = append(next, v)
 			}
 		}
-		level = next
+		level, next = next, level
 		d++
 	}
+	bs.level, bs.next = level[:0], next[:0]
+	idx.bfs.Put(bs)
 }
 
 // PathExtent answers a pure label-path query //t1/t2/.../tk on the summary

@@ -1,8 +1,7 @@
 package flix
 
 import (
-	"container/heap"
-
+	"repro/internal/pathindex"
 	"repro/internal/xmlgraph"
 )
 
@@ -22,23 +21,27 @@ func (ix *Index) Connected(a, b xmlgraph.NodeID, maxDist int32) (int32, bool) {
 // the search depth and opts.Cancel aborts it (a canceled test reports "not
 // connected" for whatever it had not yet discovered).  The remaining Options
 // fields do not apply to connection tests and are ignored.
+//
+// Like the descendants evaluator it runs on pooled scratch state — the
+// frontier and the entered table come from the index's pool and go back on
+// every exit path.
 func (ix *Index) ConnectedOpts(a, b xmlgraph.NodeID, opts Options) (int32, bool) {
 	maxDist := opts.MaxDist
 	if a == b {
 		return 0, true
 	}
-	f := frontier{{dist: 0, node: a}}
-	heap.Init(&f)
-	entered := make(map[int32][]int32)
+	s := ix.getScratch()
+	defer ix.putScratch(s)
+	s.f.push(pqItem{dist: 0, node: a})
 	tmi := ix.set.MetaOf[b]
 	tlocal := ix.set.LocalOf[b]
 	best := int32(-1)
 
-	for f.Len() > 0 {
+	for s.f.Len() > 0 {
 		if canceled(opts.Cancel) {
 			break
 		}
-		it := heap.Pop(&f).(pqItem)
+		it := s.f.pop()
 		if maxDist > 0 && it.dist > maxDist {
 			break
 		}
@@ -49,11 +52,14 @@ func (ix *Index) ConnectedOpts(a, b xmlgraph.NodeID, opts Options) (int32, bool)
 		le := ix.set.LocalOf[it.node]
 		md := ix.set.Metas[mi]
 		idx := ix.pis[mi]
-		prev := entered[mi]
+		prev := s.entered[mi]
 		if coveredBy(idx, prev, le) {
 			continue
 		}
-		entered[mi] = append(prev, le)
+		if len(prev) == 0 {
+			s.touched = append(s.touched, mi)
+		}
+		s.entered[mi] = append(prev, le)
 
 		if mi == tmi {
 			if d, ok := idx.Distance(le, tlocal); ok {
@@ -75,7 +81,7 @@ func (ix *Index) ConnectedOpts(a, b xmlgraph.NodeID, opts Options) (int32, bool)
 				continue
 			}
 			for _, cl := range md.LinksFrom(ls) {
-				heap.Push(&f, pqItem{dist: nd, node: cl.To})
+				s.f.push(pqItem{dist: nd, node: cl.To})
 			}
 		}
 	}
@@ -95,20 +101,18 @@ func (ix *Index) ConnectedBidirectional(a, b xmlgraph.NodeID, maxDist int32) (in
 	}
 	fwd := &halfSearch{ix: ix, forward: true, entered: make(map[int32][]int32)}
 	bwd := &halfSearch{ix: ix, forward: false, entered: make(map[int32][]int32)}
-	fwd.f = frontier{{dist: 0, node: a}}
-	bwd.f = frontier{{dist: 0, node: b}}
-	heap.Init(&fwd.f)
-	heap.Init(&bwd.f)
+	fwd.f.push(pqItem{dist: 0, node: a})
+	bwd.f.push(pqItem{dist: 0, node: b})
 
 	best := int32(-1)
 	for fwd.f.Len() > 0 || bwd.f.Len() > 0 {
 		// Stop when even the optimistic combination cannot improve.
 		lo := int32(0)
 		if fwd.f.Len() > 0 {
-			lo += fwd.f[0].dist
+			lo += fwd.f.a[0].dist
 		}
 		if bwd.f.Len() > 0 {
-			lo += bwd.f[0].dist
+			lo += bwd.f.a[0].dist
 		}
 		if best >= 0 && lo >= best {
 			break
@@ -118,7 +122,7 @@ func (ix *Index) ConnectedBidirectional(a, b xmlgraph.NodeID, maxDist int32) (in
 		}
 		side := fwd
 		other := bwd
-		if fwd.f.Len() == 0 || (bwd.f.Len() > 0 && bwd.f[0].dist < fwd.f[0].dist) {
+		if fwd.f.Len() == 0 || (bwd.f.Len() > 0 && bwd.f.a[0].dist < fwd.f.a[0].dist) {
 			side, other = bwd, fwd
 		}
 		if side.f.Len() == 0 {
@@ -140,7 +144,7 @@ func (ix *Index) ConnectedBidirectional(a, b xmlgraph.NodeID, maxDist int32) (in
 type halfSearch struct {
 	ix      *Index
 	forward bool
-	f       frontier
+	f       frontier4
 	// entered records visited entry points per meta document along with
 	// their distances from this side's origin.
 	entered map[int32][]int32
@@ -159,7 +163,7 @@ type entryDist struct {
 // distance when the frontiers meet.
 func (h *halfSearch) step(other *halfSearch) (int32, bool) {
 	ix := h.ix
-	it := heap.Pop(&h.f).(pqItem)
+	it := h.f.pop()
 	mi := ix.set.MetaOf[it.node]
 	le := ix.set.LocalOf[it.node]
 	md := ix.set.Metas[mi]
@@ -200,7 +204,7 @@ func (h *halfSearch) step(other *halfSearch) (int32, bool) {
 				continue
 			}
 			for _, cl := range md.LinksFrom(ls) {
-				heap.Push(&h.f, pqItem{dist: it.dist + d + 1, node: cl.To})
+				h.f.push(pqItem{dist: it.dist + d + 1, node: cl.To})
 			}
 		}
 	} else {
@@ -209,7 +213,7 @@ func (h *halfSearch) step(other *halfSearch) (int32, bool) {
 			if !ok {
 				continue
 			}
-			heap.Push(&h.f, pqItem{dist: it.dist + d + 1, node: il.From})
+			h.f.push(pqItem{dist: it.dist + d + 1, node: il.From})
 		}
 	}
 	return best, best >= 0
@@ -217,7 +221,7 @@ func (h *halfSearch) step(other *halfSearch) (int32, bool) {
 
 // covered is coveredBy with direction awareness: for the backward side, an
 // entry p covers e when e reaches p (everything above e was explored).
-func (h *halfSearch) covered(idx interface{ Reachable(x, y int32) bool }, prev []int32, n int32) bool {
+func (h *halfSearch) covered(idx pathindex.Index, prev []int32, n int32) bool {
 	for _, p := range prev {
 		if h.forward {
 			if idx.Reachable(p, n) {
@@ -233,18 +237,20 @@ func (h *halfSearch) covered(idx interface{ Reachable(x, y int32) bool }, prev [
 // Ancestors evaluates the reverse axis start//ancestor::tag (§5.1 notes the
 // same algorithm applies to ancestors): all elements named tag from which
 // start is reachable, in approximately ascending distance order.  An empty
-// tag means any ancestor.
+// tag means any ancestor.  The frontier and entered table come from the
+// scratch pool; the reverse axis is rare enough that its visit callback
+// stays a plain closure.
 func (ix *Index) Ancestors(start xmlgraph.NodeID, tag string, opts Options, fn Emit) {
-	f := frontier{{dist: 0, node: start}}
-	heap.Init(&f)
-	entered := make(map[int32][]int32)
+	s := ix.getScratch()
+	defer ix.putScratch(s)
+	s.f.push(pqItem{dist: 0, node: start})
 	emitted := 0
 
-	for f.Len() > 0 {
+	for s.f.Len() > 0 {
 		if canceled(opts.Cancel) {
 			return
 		}
-		it := heap.Pop(&f).(pqItem)
+		it := s.f.pop()
 		if opts.MaxDist > 0 && it.dist > opts.MaxDist {
 			break
 		}
@@ -252,7 +258,7 @@ func (ix *Index) Ancestors(start xmlgraph.NodeID, tag string, opts Options, fn E
 		le := ix.set.LocalOf[it.node]
 		md := ix.set.Metas[mi]
 		idx := ix.pis[mi]
-		prev := entered[mi]
+		prev := s.entered[mi]
 		// Reverse coverage: p covers e when e reaches p.
 		skip := false
 		for _, p := range prev {
@@ -264,7 +270,10 @@ func (ix *Index) Ancestors(start xmlgraph.NodeID, tag string, opts Options, fn E
 		if skip {
 			continue
 		}
-		entered[mi] = append(prev, le)
+		if len(prev) == 0 {
+			s.touched = append(s.touched, mi)
+		}
+		s.entered[mi] = append(prev, le)
 
 		stop := false
 		visit := func(n, ld int32) bool {
@@ -311,7 +320,7 @@ func (ix *Index) Ancestors(start xmlgraph.NodeID, tag string, opts Options, fn E
 			if opts.MaxDist > 0 && nd > opts.MaxDist {
 				continue
 			}
-			heap.Push(&f, pqItem{dist: nd, node: il.From})
+			s.f.push(pqItem{dist: nd, node: il.From})
 		}
 	}
 }

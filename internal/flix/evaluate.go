@@ -1,11 +1,12 @@
 package flix
 
 import (
-	"container/heap"
 	"time"
 
 	"repro/internal/lgraph"
+	"repro/internal/meta"
 	"repro/internal/obs"
+	"repro/internal/pathindex"
 	"repro/internal/xmlgraph"
 )
 
@@ -80,31 +81,15 @@ type pqItem struct {
 	node xmlgraph.NodeID
 }
 
-// frontier is a binary min-heap over (dist, node).
-type frontier []pqItem
-
-func (f frontier) Len() int { return len(f) }
-func (f frontier) Less(i, j int) bool {
-	if f[i].dist != f[j].dist {
-		return f[i].dist < f[j].dist
-	}
-	return f[i].node < f[j].node
-}
-func (f frontier) Swap(i, j int) { f[i], f[j] = f[j], f[i] }
-func (f *frontier) Push(x any)   { *f = append(*f, x.(pqItem)) }
-func (f *frontier) Pop() any {
-	old := *f
-	n := len(old)
-	it := old[n-1]
-	*f = old[:n-1]
-	return it
-}
-
 // Descendants evaluates the path expression start//tag: all elements named
 // tag reachable from start, streamed in approximately ascending distance
 // order (§5.1, Figure 4).  An empty tag means the wildcard start//*.
 func (ix *Index) Descendants(start xmlgraph.NodeID, tag string, opts Options, fn Emit) {
-	ix.evaluate([]pqItem{{dist: 0, node: start}}, tag, opts, fn)
+	s := ix.getScratch()
+	// Single-start construction is a plain append into the empty pooled
+	// heap — O(1), no heap.Init pass over a one-element slice.
+	s.f.push(pqItem{dist: 0, node: start})
+	ix.evaluate(s, tag, opts, fn)
 }
 
 // TypeDescendants evaluates A//B where only the element types are fixed
@@ -112,15 +97,99 @@ func (ix *Index) Descendants(start xmlgraph.NodeID, tag string, opts Options, fn
 // regular evaluation runs.  Results may be descendants of several A
 // elements; each is reported once with the smallest distance found.
 func (ix *Index) TypeDescendants(tagA, tagB string, opts Options, fn Emit) {
-	var starts []pqItem
-	for _, n := range ix.coll.NodesByTag(tagA) {
-		starts = append(starts, pqItem{dist: 0, node: n})
+	s := ix.getScratch()
+	nodes := ix.coll.NodesByTag(tagA)
+	s.f.grow(len(nodes))
+	for _, n := range nodes {
+		s.f.a = append(s.f.a, pqItem{dist: 0, node: n})
 	}
-	ix.evaluate(starts, tagB, opts, fn)
+	s.f.heapify()
+	ix.evaluate(s, tagB, opts, fn)
+}
+
+// evalRun is the per-query state of one evaluation, embedded in the pooled
+// evalScratch so that checking out a warm scratch re-arms a complete
+// evaluator with zero allocation.  The per-pop fields exist so that visit —
+// the old per-pop closure, now a method bound once per scratch lifetime —
+// can read the popped entry's context without a fresh closure per frontier
+// entry.
+type evalRun struct {
+	ix   *Index
+	s    *evalScratch
+	opts Options
+	fn   Emit
+	tr   *obs.Trace
+
+	// Per-pop context read by visit.
+	dist int32
+	mi   int32
+	prev []int32
+	md   *meta.MetaDocument
+	idx  pathindex.Index
+
+	probeResults int
+	emitted      int
+	stopped      bool
+	exact        bool
+
+	// Per-query stats deltas, flushed to the shared atomic counters once
+	// at query end instead of contending on every pop.
+	pops, entries, dupDropped, linkHops int64
+}
+
+// visit handles one node streamed from a meta document's index probe.  It
+// is the hot inner callback: the old evaluator rebuilt it as a closure on
+// every frontier pop, this version is a method whose bound func value lives
+// in the scratch pool.
+func (r *evalRun) visit(n, ld int32) bool {
+	gd := r.dist + ld
+	if r.opts.MaxDist > 0 && gd > r.opts.MaxDist {
+		return false // ld ascending: rest is farther
+	}
+	if gd == 0 && !r.opts.IncludeSelf {
+		return true
+	}
+	g := r.md.ToGlobal(n)
+	if r.opts.DupSeenSet {
+		if _, dup := r.s.seenResults[g]; dup {
+			return true
+		}
+		r.s.seenResults[g] = struct{}{}
+	} else if coveredBy(r.idx, r.prev, n) {
+		return true // reported below an earlier entry
+	}
+	res := Result{Node: g, Dist: gd}
+	if r.tr != nil {
+		// Recorded at production time: an ExactOrder buffer may emit the
+		// result to the client later.
+		r.probeResults++
+		r.tr.Result(r.mi, int64(g), gd)
+	}
+	if r.exact {
+		r.s.rbuf.push(res)
+		return true
+	}
+	if !r.emit(res) {
+		r.stopped = true
+		return false
+	}
+	return true
+}
+
+// emit forwards one result to the client callback and enforces MaxResults.
+func (r *evalRun) emit(res Result) bool {
+	if !r.fn(res) {
+		return false
+	}
+	r.emitted++
+	return r.opts.MaxResults <= 0 || r.emitted < r.opts.MaxResults
 }
 
 // evaluate is the Path Expression Evaluator of Figure 4 with the
-// entry-point duplicate elimination of §5.1.
+// entry-point duplicate elimination of §5.1, rebuilt to be allocation-free
+// in steady state: the frontier, the entered table, and the result buffer
+// come from the scratch pool (returned on every exit path, including
+// cancellation), and the per-pop visit callback is a pre-bound method.
 //
 // The priority queue IE holds intermediate elements ordered by the minimal
 // distance any of their descendants can have.  Popping an element e, the
@@ -129,56 +198,41 @@ func (ix *Index) TypeDescendants(tagA, tagB string, opts Options, fn Emit) {
 // streams e's matching descendants from the meta document's index, skipping
 // those below an earlier entry point; (3) pushes the targets of e's
 // reachable runtime links at priority dist(e) + dist(e, l) + 1.
-func (ix *Index) evaluate(starts []pqItem, tag string, opts Options, fn Emit) {
-	tr := opts.Tracer // nil in the common case; every use is nil-checked
-	f := make(frontier, 0, len(starts))
-	for _, s := range starts {
-		f = append(f, s)
-	}
-	heap.Init(&f)
-
-	entered := make(map[int32][]int32) // meta ID -> visited entry points
-	emitted := 0
-	stopped := false
-	// seenResults implements the ablation mode: exact-identity entry
-	// dedup plus a set over every returned result.
-	var seenResults map[xmlgraph.NodeID]struct{}
-	var seenEntries map[xmlgraph.NodeID]struct{}
-	if opts.DupSeenSet {
-		seenResults = make(map[xmlgraph.NodeID]struct{})
-		seenEntries = make(map[xmlgraph.NodeID]struct{})
+//
+// The caller loads the starts into s.f; evaluate owns s from here on and
+// returns it to the pool when the query ends.
+func (ix *Index) evaluate(s *evalScratch, tag string, opts Options, fn Emit) {
+	defer ix.putScratch(s)
+	r := &s.run
+	r.ix = ix
+	r.opts = opts
+	r.fn = fn
+	r.tr = opts.Tracer // nil in the common case; every use is nil-checked
+	r.exact = opts.ExactOrder
+	if opts.DupSeenSet && s.seenResults == nil {
+		s.seenResults = make(map[xmlgraph.NodeID]struct{})
+		s.seenEntries = make(map[xmlgraph.NodeID]struct{})
 	}
 
-	var buffer *resultBuffer
-	if opts.ExactOrder {
-		buffer = &resultBuffer{}
-	}
-	emit := func(r Result) bool {
-		if !fn(r) {
-			return false
-		}
-		emitted++
-		return opts.MaxResults <= 0 || emitted < opts.MaxResults
-	}
-
-	for f.Len() > 0 && !stopped {
+	wildcard := tag == ""
+	for s.f.Len() > 0 && !r.stopped {
 		if canceled(opts.Cancel) {
-			stopped = true
+			r.stopped = true
 			break
 		}
-		it := heap.Pop(&f).(pqItem)
-		ix.stats.Pops.Add(1)
-		if tr != nil {
-			tr.Pop(int64(it.node), it.dist)
+		it := s.f.pop()
+		r.pops++
+		if r.tr != nil {
+			r.tr.Pop(int64(it.node), it.dist)
 		}
 		if opts.MaxDist > 0 && it.dist > opts.MaxDist {
 			break // every remaining frontier entry is at least as far
 		}
-		if buffer != nil {
+		if r.exact {
 			// Anything buffered below the new frontier minimum can
 			// never be beaten; flush it in exact order.
-			if !buffer.flush(it.dist, emit) {
-				stopped = true
+			if !s.rbuf.flushBelow(it.dist, s.emitFn) {
+				r.stopped = true
 				break
 			}
 		}
@@ -190,98 +244,69 @@ func (ix *Index) evaluate(starts []pqItem, tag string, opts Options, fn Emit) {
 		var prev []int32
 		if opts.DupSeenSet {
 			// Ablation: entries are skipped only on exact identity,
-			// results are deduplicated through seenResults below.
-			if _, dup := seenEntries[it.node]; dup {
-				ix.stats.DupDropped.Add(1)
-				if tr != nil {
-					tr.DupDrop(mi, int64(it.node), it.dist)
+			// results are deduplicated through seenResults in visit.
+			if _, dup := s.seenEntries[it.node]; dup {
+				r.dupDropped++
+				if r.tr != nil {
+					r.tr.DupDrop(mi, int64(it.node), it.dist)
 				}
 				continue
 			}
-			seenEntries[it.node] = struct{}{}
+			s.seenEntries[it.node] = struct{}{}
 		} else {
-			prev = entered[mi]
+			prev = s.entered[mi]
 			if coveredBy(idx, prev, le) {
-				ix.stats.DupDropped.Add(1)
-				if tr != nil {
-					tr.DupDrop(mi, int64(it.node), it.dist)
+				r.dupDropped++
+				if r.tr != nil {
+					r.tr.DupDrop(mi, int64(it.node), it.dist)
 				}
 				continue // descendants of e were already reported
 			}
-			entered[mi] = append(prev, le)
+			if len(prev) == 0 {
+				s.touched = append(s.touched, mi)
+			}
+			s.entered[mi] = append(prev, le)
 		}
-		ix.stats.Entries.Add(1)
-		if tr != nil {
-			tr.Entry(mi, idx.Name(), int64(it.node), it.dist)
+		r.entries++
+		if r.tr != nil {
+			r.tr.Entry(mi, idx.Name(), int64(it.node), it.dist)
 		}
 
 		// (2) stream matching descendants.
-		localTag := lgraph.Tag(-1)
-		wildcard := tag == ""
+		localTag := lgraph.NoTag
+		probe := true
 		if !wildcard {
 			localTag = md.Graph.TagOf(tag)
-			if localTag == lgraph.NoTag {
-				// Tag absent from this meta document; still follow
-				// links below.
-				goto links
-			}
+			// Tag absent from this meta document: skip the probe but
+			// still follow links below.
+			probe = localTag != lgraph.NoTag
 		}
-		{
+		if probe {
+			// Arm the per-pop context visit reads.  prev is the
+			// pre-append entry list: results below an *earlier* entry
+			// point were already reported, the current entry covers the
+			// probe itself.
+			r.dist, r.mi, r.prev, r.md, r.idx = it.dist, mi, prev, md, idx
 			// Probe timing is only measured when a tracer is attached;
 			// the extra clock reads stay off the untraced hot path.
 			var probeStart time.Time
-			probeResults := 0
-			if tr != nil {
+			if r.tr != nil {
+				r.probeResults = 0
 				probeStart = time.Now()
 			}
-			visit := func(n, ld int32) bool {
-				gd := it.dist + ld
-				if opts.MaxDist > 0 && gd > opts.MaxDist {
-					return false // ld ascending: rest is farther
-				}
-				if gd == 0 && !opts.IncludeSelf {
-					return true
-				}
-				g := md.ToGlobal(n)
-				if opts.DupSeenSet {
-					if _, dup := seenResults[g]; dup {
-						return true
-					}
-					seenResults[g] = struct{}{}
-				} else if coveredBy(idx, prev, n) {
-					return true // reported below an earlier entry
-				}
-				r := Result{Node: g, Dist: gd}
-				if tr != nil {
-					// Recorded at production time: an ExactOrder
-					// buffer may emit the result to the client later.
-					probeResults++
-					tr.Result(mi, int64(g), gd)
-				}
-				if buffer != nil {
-					buffer.add(r)
-					return true
-				}
-				if !emit(r) {
-					stopped = true
-					return false
-				}
-				return true
-			}
 			if wildcard {
-				idx.EachReachable(le, visit)
+				idx.EachReachable(le, s.visitFn)
 			} else {
-				idx.EachReachableByTag(le, localTag, visit)
+				idx.EachReachableByTag(le, localTag, s.visitFn)
 			}
-			if tr != nil {
-				tr.Probe(mi, idx.Name(), probeResults, time.Since(probeStart))
+			if r.tr != nil {
+				r.tr.Probe(mi, idx.Name(), r.probeResults, time.Since(probeStart))
 			}
-			if stopped {
+			if r.stopped {
 				break
 			}
 		}
 
-	links:
 		// (3) follow reachable runtime links.
 		for _, ls := range md.LinkSources {
 			d, ok := idx.Distance(le, ls)
@@ -293,23 +318,22 @@ func (ix *Index) evaluate(starts []pqItem, tag string, opts Options, fn Emit) {
 				continue
 			}
 			for _, cl := range md.LinksFrom(ls) {
-				heap.Push(&f, pqItem{dist: nd, node: cl.To})
-				ix.stats.LinkHops.Add(1)
-				if tr != nil {
-					tr.LinkHop(mi, int64(cl.To), nd)
+				s.f.push(pqItem{dist: nd, node: cl.To})
+				r.linkHops++
+				if r.tr != nil {
+					r.tr.LinkHop(mi, int64(cl.To), nd)
 				}
 			}
 		}
 	}
-	if buffer != nil && !stopped {
-		buffer.flushAll(emit)
+	if r.exact && !r.stopped {
+		s.rbuf.flushAll(s.emitFn)
 	}
-	ix.stats.Queries.Add(1)
-	ix.stats.Results.Add(int64(emitted))
+	ix.stats.flushQuery(r)
 }
 
 // coveredBy reports whether any entry point in prev reaches local node n.
-func coveredBy(idx interface{ Reachable(x, y int32) bool }, prev []int32, n int32) bool {
+func coveredBy(idx pathindex.Index, prev []int32, n int32) bool {
 	for _, p := range prev {
 		if idx.Reachable(p, n) {
 			return true
@@ -318,51 +342,74 @@ func coveredBy(idx interface{ Reachable(x, y int32) bool }, prev []int32, n int3
 	return false
 }
 
-// resultBuffer orders results exactly by (dist, node) for
-// Options.ExactOrder.
-type resultBuffer struct {
-	h resultHeap
+// resultHeap orders results exactly by (dist, node) for Options.ExactOrder.
+// Like the frontier it is a concretely-typed hand-rolled heap (binary: the
+// buffer is usually small) whose backing array lives in the scratch pool.
+type resultHeap []Result
+
+func resLess(x, y Result) bool {
+	if x.Dist != y.Dist {
+		return x.Dist < y.Dist
+	}
+	return x.Node < y.Node
 }
 
-func (b *resultBuffer) add(r Result) {
-	heap.Push(&b.h, r)
+func (h *resultHeap) push(r Result) {
+	a := append(*h, r)
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !resLess(a[i], a[p]) {
+			break
+		}
+		a[i], a[p] = a[p], a[i]
+		i = p
+	}
+	*h = a
 }
 
-// flush emits every buffered result with distance < bound (no later path
-// can be shorter than bound).  It reports false when the emit callback
+func (h *resultHeap) popMin() Result {
+	a := *h
+	min := a[0]
+	last := len(a) - 1
+	a[0] = a[last]
+	a = a[:last]
+	*h = a
+	i := 0
+	for {
+		l, rr := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(a) && resLess(a[l], a[smallest]) {
+			smallest = l
+		}
+		if rr < len(a) && resLess(a[rr], a[smallest]) {
+			smallest = rr
+		}
+		if smallest == i {
+			break
+		}
+		a[i], a[smallest] = a[smallest], a[i]
+		i = smallest
+	}
+	return min
+}
+
+// flushBelow emits every buffered result with distance < bound (no later
+// path can be shorter than bound).  It reports false when the emit callback
 // cancels.
-func (b *resultBuffer) flush(bound int32, emit func(Result) bool) bool {
-	for b.h.Len() > 0 && b.h[0].Dist < bound {
-		if !emit(heap.Pop(&b.h).(Result)) {
+func (h *resultHeap) flushBelow(bound int32, emit func(Result) bool) bool {
+	for len(*h) > 0 && (*h)[0].Dist < bound {
+		if !emit(h.popMin()) {
 			return false
 		}
 	}
 	return true
 }
 
-func (b *resultBuffer) flushAll(emit func(Result) bool) {
-	for b.h.Len() > 0 {
-		if !emit(heap.Pop(&b.h).(Result)) {
+func (h *resultHeap) flushAll(emit func(Result) bool) {
+	for len(*h) > 0 {
+		if !emit(h.popMin()) {
 			return
 		}
 	}
-}
-
-type resultHeap []Result
-
-func (h resultHeap) Len() int { return len(h) }
-func (h resultHeap) Less(i, j int) bool {
-	if h[i].Dist != h[j].Dist {
-		return h[i].Dist < h[j].Dist
-	}
-	return h[i].Node < h[j].Node
-}
-func (h resultHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *resultHeap) Push(x any)   { *h = append(*h, x.(Result)) }
-func (h *resultHeap) Pop() any {
-	old := *h
-	n := len(old)
-	r := old[n-1]
-	*h = old[:n-1]
-	return r
 }

@@ -135,6 +135,11 @@ type Index struct {
 	cfg    Config
 	stats  QueryStats
 	bstats BuildStats
+
+	// scratch pools evalScratch values for the query hot path.  It is
+	// per-Index so the dense entered table is sized once and live
+	// generation swaps stay safe: each generation drains its own pool.
+	scratch sync.Pool
 }
 
 // Build runs the build phase on a frozen collection with default options

@@ -1,0 +1,143 @@
+package flix
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xmlgraph"
+)
+
+// popAll drains a frontier4 into a slice.
+func popAll(f *frontier4) []pqItem {
+	var out []pqItem
+	for f.Len() > 0 {
+		out = append(out, f.pop())
+	}
+	return out
+}
+
+// refPopAll drains the container/heap reference frontier.
+func refPopAll(rf *refFrontier) []pqItem {
+	var out []pqItem
+	for rf.Len() > 0 {
+		out = append(out, heap.Pop(rf).(pqItem))
+	}
+	return out
+}
+
+// TestFrontier4MatchesContainerHeap is the pop-order property test: for any
+// input sequence, frontier4 pops exactly the values container/heap pops.
+// Both heaps remove the (dist, node)-minimum, so even with duplicate
+// priorities the popped value sequences must be identical.
+func TestFrontier4MatchesContainerHeap(t *testing.T) {
+	check := func(dists []int32, nodes []int32, bulk bool) bool {
+		n := len(dists)
+		if len(nodes) < n {
+			n = len(nodes)
+		}
+		var f frontier4
+		var rf refFrontier
+		items := make([]pqItem, 0, n)
+		for i := 0; i < n; i++ {
+			items = append(items, pqItem{dist: dists[i], node: xmlgraph.NodeID(nodes[i])})
+		}
+		if bulk {
+			// Bulk construction: append then heapify, the
+			// TypeDescendants path.
+			f.grow(len(items))
+			f.a = append(f.a, items...)
+			f.heapify()
+		} else {
+			for _, it := range items {
+				f.push(it)
+			}
+		}
+		for _, it := range items {
+			heap.Push(&rf, it)
+		}
+		got, want := popAll(&f), refPopAll(&rf)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFrontier4TieHeavy forces massive priority collisions: distances drawn
+// from {0,1,2} and node IDs from an 8-value domain, so nearly every pop has
+// to break ties.  The pop sequences must still match container/heap exactly.
+func TestFrontier4TieHeavy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 200; round++ {
+		n := rng.Intn(64)
+		var f frontier4
+		var rf refFrontier
+		for i := 0; i < n; i++ {
+			it := pqItem{dist: int32(rng.Intn(3)), node: xmlgraph.NodeID(rng.Intn(8))}
+			f.push(it)
+			heap.Push(&rf, it)
+		}
+		got, want := popAll(&f), refPopAll(&rf)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: pop %d: got %+v want %+v", round, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestFrontier4Interleaved mixes pushes and pops in random order, comparing
+// every popped value against container/heap driven by the same operation
+// sequence.
+func TestFrontier4Interleaved(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 100; round++ {
+		var f frontier4
+		var rf refFrontier
+		for op := 0; op < 200; op++ {
+			if rf.Len() == 0 || rng.Intn(3) != 0 {
+				it := pqItem{dist: int32(rng.Intn(10)), node: xmlgraph.NodeID(rng.Intn(1000))}
+				f.push(it)
+				heap.Push(&rf, it)
+				continue
+			}
+			got := f.pop()
+			want := heap.Pop(&rf).(pqItem)
+			if got != want {
+				t.Fatalf("round %d op %d: got %+v want %+v", round, op, got, want)
+			}
+		}
+	}
+}
+
+// TestFrontier4Reset checks that reset empties the heap but retains capacity
+// (the property the scratch pool relies on).
+func TestFrontier4Reset(t *testing.T) {
+	var f frontier4
+	for i := 0; i < 100; i++ {
+		f.push(pqItem{dist: int32(100 - i), node: xmlgraph.NodeID(i)})
+	}
+	c := cap(f.a)
+	f.reset()
+	if f.Len() != 0 {
+		t.Fatalf("Len after reset = %d, want 0", f.Len())
+	}
+	if cap(f.a) != c {
+		t.Fatalf("cap after reset = %d, want %d", cap(f.a), c)
+	}
+	f.push(pqItem{dist: 2, node: 1})
+	f.push(pqItem{dist: 1, node: 2})
+	if got := f.pop(); got != (pqItem{dist: 1, node: 2}) {
+		t.Fatalf("pop after reset = %+v", got)
+	}
+}

@@ -1,0 +1,80 @@
+package flix
+
+import (
+	"repro/internal/xmlgraph"
+)
+
+// evalScratch is the per-query working state of the evaluator, pooled on the
+// Index so that a warm query performs no allocation: the frontier backing
+// array, the entered-entry-point table, the ablation seen-sets, the
+// ExactOrder result heap, and the bound visit/emit callbacks are all checked
+// out together at query start and returned — reset — on every exit path,
+// including cancellation and emit-stop.
+//
+// The entered table replaces the old per-query map[int32][]int32: it is a
+// dense slice indexed by meta-document ID (the pool is per-Index, so the
+// length is fixed at len(ix.set.Metas)), and the touched dirty-list makes
+// reset O(metas actually entered) instead of O(all metas) — reuse costs no
+// more than the query itself did.
+type evalScratch struct {
+	run evalRun
+	f   frontier4
+
+	// entered[mi] lists the visited entry points of meta document mi;
+	// touched lists the mi with a non-empty list, for the O(touched) reset.
+	entered [][]int32
+	touched []int32
+
+	// Ablation mode (Options.DupSeenSet) seen-sets, allocated on first
+	// ablation query and then cleared — not reallocated — between uses.
+	seenResults map[xmlgraph.NodeID]struct{}
+	seenEntries map[xmlgraph.NodeID]struct{}
+
+	// rbuf backs the ExactOrder result buffer.
+	rbuf resultHeap
+
+	// visitFn and emitFn are method values bound once to &run.  The old
+	// evaluator rebuilt the visit closure on every frontier pop; binding
+	// here means the untraced hot path passes the same func value to every
+	// index probe with no per-entry allocation.
+	visitFn func(n, ld int32) bool
+	emitFn  func(Result) bool
+}
+
+// getScratch checks a scratch out of the index's pool, allocating and
+// sizing it on first use.  The pool is per-Index, so a live generation swap
+// is naturally safe: queries pinned to the old generation keep draining its
+// pool while the new generation starts a fresh one, and the old pool is
+// collected with the index.
+func (ix *Index) getScratch() *evalScratch {
+	s, _ := ix.scratch.Get().(*evalScratch)
+	if s == nil {
+		s = &evalScratch{}
+		s.run.s = s
+		s.visitFn = s.run.visit
+		s.emitFn = s.run.emit
+	}
+	if len(s.entered) < len(ix.set.Metas) {
+		s.entered = make([][]int32, len(ix.set.Metas))
+	}
+	return s
+}
+
+// putScratch resets the scratch and returns it to the pool.  Reset drops
+// every reference a query threaded through it (caller callback, tracer,
+// per-pop index handles) so the pool never pins client state, and empties
+// the containers while keeping their capacity.
+func (ix *Index) putScratch(s *evalScratch) {
+	s.f.reset()
+	for _, mi := range s.touched {
+		s.entered[mi] = s.entered[mi][:0]
+	}
+	s.touched = s.touched[:0]
+	s.rbuf = s.rbuf[:0]
+	if s.seenResults != nil {
+		clear(s.seenResults)
+		clear(s.seenEntries)
+	}
+	s.run = evalRun{s: s}
+	ix.scratch.Put(s)
+}

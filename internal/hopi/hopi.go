@@ -65,6 +65,20 @@ type Index struct {
 	mu     sync.Mutex
 	tagIn  map[lgraph.Tag][][]entry
 	tagOut map[lgraph.Tag][][]entry
+
+	// merge pools mergeScratch values so steady-state enumeration probes
+	// allocate nothing — the heap backing array and the epoch-stamped seen
+	// table are reused across queries.
+	merge sync.Pool
+}
+
+// mergeScratch is the reusable state of one eachVia k-way merge: the heap's
+// backing array and a duplicate table stamped with a per-use tick, so
+// clearing it between probes is bumping the tick rather than wiping memory.
+type mergeScratch struct {
+	h    mergeHeap
+	seen []int64
+	tick int64
 }
 
 var _ pathindex.Index = (*Index)(nil)
@@ -520,7 +534,13 @@ func (idx *Index) taggedPostings(tag lgraph.Tag, reverse bool) [][]entry {
 // first k results costs O((|label| + k·dup) log |label|) rather than a full
 // materialization — the property behind FliX's streaming evaluation.
 func (idx *Index) eachVia(label []entry, postings [][]entry, tag lgraph.Tag, filter bool, fn pathindex.Visit) {
-	h := make(mergeHeap, 0, len(label))
+	ms, _ := idx.merge.Get().(*mergeScratch)
+	if ms == nil {
+		ms = &mergeScratch{seen: make([]int64, idx.g.NumNodes())}
+	}
+	ms.tick++
+	tick := ms.tick
+	h := ms.h[:0]
 	for _, l := range label {
 		p := postings[l.hub]
 		if len(p) == 0 {
@@ -534,7 +554,6 @@ func (idx *Index) eachVia(label []entry, postings [][]entry, tag lgraph.Tag, fil
 		})
 	}
 	heapInit(h)
-	seen := make(map[int32]struct{})
 	for len(h) > 0 {
 		cur := &h[0]
 		node, dist := cur.node, cur.dist
@@ -551,17 +570,19 @@ func (idx *Index) eachVia(label []entry, postings [][]entry, tag lgraph.Tag, fil
 				heapFix(h, 0)
 			}
 		}
-		if _, dup := seen[node]; dup {
+		if ms.seen[node] == tick {
 			continue
 		}
-		seen[node] = struct{}{}
+		ms.seen[node] = tick
 		if filter && idx.g.Tag(node) != tag {
 			continue
 		}
 		if !fn(node, dist) {
-			return
+			break
 		}
 	}
+	ms.h = h[:0]
+	idx.merge.Put(ms)
 }
 
 // mergeCursor is one posting stream position in the k-way merge.

@@ -14,7 +14,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"slices"
 	"sort"
+	"sync"
 
 	"repro/internal/lgraph"
 	"repro/internal/pathindex"
@@ -39,6 +41,35 @@ type Index struct {
 	// tagPre[t] lists the preorder ranks of the nodes with tag t,
 	// ascending; used for the a//b range scan.
 	tagPre [][]int32
+
+	// The fields below are derived by finishDerived at build/load time and
+	// are not serialized — WriteTo's byte format is unchanged.
+	//
+	// depthRuns[d] lists the preorder ranks of the nodes at depth d,
+	// ascending.  A subtree is the preorder interval [pre(x), pre(x)+size),
+	// so enumerating it in ascending distance order is one binary search
+	// per depth level instead of bucketing the whole interval into a
+	// per-query map — the enumeration probe allocates nothing.
+	depthRuns [][]int32
+	// tagDepth[t] groups tagPre[t] by depth: runs in ascending depth
+	// order, each run's pre-ranks ascending.
+	tagDepth [][]depthRun
+	// runsSorted reports that byPre is node-ascending within every depth
+	// run, which makes the run-scan emission order satisfy the
+	// interface's (dist, node) contract without a per-query sort.  It
+	// holds for most forests the meta-document builder produces; the
+	// sort fallback covers the general case.
+	runsSorted bool
+
+	// scratch pools intervalScratch values for the sort fallback so its
+	// steady state allocates nothing either.
+	scratch sync.Pool
+}
+
+// depthRun is the preorder ranks of one tag at one depth.
+type depthRun struct {
+	depth int32
+	pres  []int32
 }
 
 var _ pathindex.Index = (*Index)(nil)
@@ -115,7 +146,90 @@ func Build(g *lgraph.LGraph) (*Index, error) {
 		t := g.Tag(idx.byPre[p])
 		idx.tagPre[t] = append(idx.tagPre[t], p)
 	}
+	idx.finishDerived()
 	return idx, nil
+}
+
+// finishDerived builds the enumeration acceleration structures from the
+// serialized core (pre/depth/byPre/tagPre).  Called by both Build and
+// ReadBody; the structures are never written out.
+func (idx *Index) finishDerived() {
+	n := len(idx.byPre)
+	maxDepth := int32(-1)
+	for _, d := range idx.depth {
+		if d < 0 || int(d) >= n {
+			// A depth outside [0, n) cannot come from a real forest — a
+			// corrupted snapshot reached us.  Leave the acceleration
+			// structures unbuilt; queries take the bucket-sort fallback.
+			return
+		}
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	for _, ranks := range idx.tagPre {
+		for _, p := range ranks {
+			if p < 0 || int(p) >= n {
+				return // corrupted snapshot; same fallback as above
+			}
+		}
+	}
+	idx.depthRuns = make([][]int32, maxDepth+1)
+	for p := 0; p < n; p++ {
+		d := idx.depth[idx.byPre[p]]
+		idx.depthRuns[d] = append(idx.depthRuns[d], int32(p))
+	}
+	idx.runsSorted = true
+check:
+	for _, run := range idx.depthRuns {
+		for i := 1; i < len(run); i++ {
+			if idx.byPre[run[i-1]] >= idx.byPre[run[i]] {
+				idx.runsSorted = false
+				break check
+			}
+		}
+	}
+	idx.tagDepth = make([][]depthRun, len(idx.tagPre))
+	for t, ranks := range idx.tagPre {
+		if len(ranks) == 0 {
+			continue
+		}
+		sorted := make([]int32, len(ranks))
+		copy(sorted, ranks)
+		depthOf := func(p int32) int32 { return idx.depth[idx.byPre[p]] }
+		sort.Slice(sorted, func(i, j int) bool {
+			di, dj := depthOf(sorted[i]), depthOf(sorted[j])
+			if di != dj {
+				return di < dj
+			}
+			return sorted[i] < sorted[j]
+		})
+		var runs []depthRun
+		start := 0
+		for i := 1; i <= len(sorted); i++ {
+			if i == len(sorted) || depthOf(sorted[i]) != depthOf(sorted[start]) {
+				runs = append(runs, depthRun{depth: depthOf(sorted[start]), pres: sorted[start:i]})
+				start = i
+			}
+		}
+		idx.tagDepth[t] = runs
+	}
+}
+
+// searchGE returns the index of the first element >= v in the ascending
+// slice a — sort.Search without the closure, so enumeration probes stay
+// allocation-free even if escape analysis changes.
+func searchGE(a []int32, v int32) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if a[m] < v {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return lo
 }
 
 // Name implements pathindex.Index.
@@ -153,64 +267,118 @@ func (idx *Index) Post(x int32) int32 { return idx.post[x] }
 func (idx *Index) SubtreeSize(x int32) int32 { return idx.size[x] }
 
 // EachReachable implements pathindex.Index.  The subtree of x is the
-// preorder interval [pre(x), pre(x)+size(x)); nodes are emitted bucketed by
-// depth, which equals ascending distance.
+// preorder interval [pre(x), pre(x)+size(x)); walking the per-depth
+// preorder runs emits it level by level — ascending distance — with one
+// binary search per level and no per-query allocation.
 func (idx *Index) EachReachable(x int32, fn pathindex.Visit) {
 	lo := idx.pre[x]
 	hi := lo + idx.size[x]
-	idx.emitInterval(x, idx.byPre[lo:hi], fn)
+	if !idx.runsSorted {
+		idx.emitInterval(x, idx.byPre[lo:hi], fn)
+		return
+	}
+	base := idx.depth[x]
+	remaining := idx.size[x]
+	for d := base; remaining > 0 && int(d) < len(idx.depthRuns); d++ {
+		run := idx.depthRuns[d]
+		for _, p := range run[searchGE(run, lo):] {
+			if p >= hi {
+				break
+			}
+			if !fn(idx.byPre[p], d-base) {
+				return
+			}
+			remaining--
+		}
+	}
+}
+
+// distNode is one (distance, node) pair of the sort fallback.
+type distNode struct{ d, n int32 }
+
+// intervalScratch is the pooled buffer of the sort fallback; its capacity is
+// retained across probes so the steady state allocates nothing.
+type intervalScratch struct{ pairs []distNode }
+
+func (idx *Index) getInterval() *intervalScratch {
+	sc, _ := idx.scratch.Get().(*intervalScratch)
+	if sc == nil {
+		sc = &intervalScratch{}
+	}
+	return sc
+}
+
+// emitPairs sorts the collected pairs into ascending (distance, node) order,
+// streams them, and returns the scratch to the pool.
+func (idx *Index) emitPairs(sc *intervalScratch, fn pathindex.Visit) {
+	slices.SortFunc(sc.pairs, func(a, b distNode) int {
+		if a.d != b.d {
+			return int(a.d) - int(b.d)
+		}
+		return int(a.n) - int(b.n)
+	})
+	for _, p := range sc.pairs {
+		if !fn(p.n, p.d) {
+			break
+		}
+	}
+	sc.pairs = sc.pairs[:0]
+	idx.scratch.Put(sc)
 }
 
 // emitInterval emits nodes (given directly) in ascending (distance, node)
-// order relative to x.
+// order relative to x — the sort fallback for graphs whose preorder is not
+// node-ascending per depth.
 func (idx *Index) emitInterval(x int32, nodes []int32, fn pathindex.Visit) {
 	if len(nodes) == 0 {
 		return
 	}
 	base := idx.depth[x]
-	buckets := make(map[int32][]int32)
-	var maxD int32
+	sc := idx.getInterval()
 	for _, n := range nodes {
-		d := idx.depth[n] - base
-		buckets[d] = append(buckets[d], n)
-		if d > maxD {
-			maxD = d
-		}
+		sc.pairs = append(sc.pairs, distNode{d: idx.depth[n] - base, n: n})
 	}
-	for d := int32(0); d <= maxD; d++ {
-		b := buckets[d]
-		if len(b) == 0 {
-			continue
-		}
-		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
-		for _, n := range b {
-			if !fn(n, d) {
-				return
-			}
-		}
-	}
+	idx.emitPairs(sc, fn)
 }
 
-// EachReachableByTag implements pathindex.Index using the per-tag preorder
-// lists: a binary search finds the slice of tag occurrences inside x's
-// preorder interval.
+// EachReachableByTag implements pathindex.Index using the per-tag depth
+// runs: every run intersecting x's preorder interval is found with one
+// binary search and streamed directly, already in ascending (distance,
+// node) order.
 func (idx *Index) EachReachableByTag(x int32, tag lgraph.Tag, fn pathindex.Visit) {
 	if tag < 0 || int(tag) >= len(idx.tagPre) {
 		return
 	}
 	lo := idx.pre[x]
 	hi := lo + idx.size[x]
-	ranks := idx.tagPre[tag]
-	from := sort.Search(len(ranks), func(i int) bool { return ranks[i] >= lo })
-	to := sort.Search(len(ranks), func(i int) bool { return ranks[i] >= hi })
-	if from >= to {
+	if !idx.runsSorted {
+		ranks := idx.tagPre[tag]
+		base := idx.depth[x]
+		sc := idx.getInterval()
+		for _, p := range ranks[searchGE(ranks, lo):] {
+			if p >= hi {
+				break
+			}
+			n := idx.byPre[p]
+			sc.pairs = append(sc.pairs, distNode{d: idx.depth[n] - base, n: n})
+		}
+		idx.emitPairs(sc, fn)
 		return
 	}
-	nodes := make([]int32, 0, to-from)
-	for _, p := range ranks[from:to] {
-		nodes = append(nodes, idx.byPre[p])
+	base := idx.depth[x]
+	for _, run := range idx.tagDepth[tag] {
+		if run.depth < base {
+			continue // a subtree node is at least as deep as its root
+		}
+		for _, p := range run.pres[searchGE(run.pres, lo):] {
+			if p >= hi {
+				break
+			}
+			if !fn(idx.byPre[p], run.depth-base) {
+				return
+			}
+		}
 	}
-	idx.emitInterval(x, nodes, fn)
 }
 
 // EachReaching implements pathindex.Index: the ancestors-or-self of x are
@@ -361,5 +529,6 @@ func ReadBody(g *lgraph.LGraph, r *storage.Reader) (pathindex.Index, error) {
 			idx.size[p] += idx.size[v]
 		}
 	}
+	idx.finishDerived()
 	return idx, nil
 }

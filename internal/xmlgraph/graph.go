@@ -117,6 +117,10 @@ type Collection struct {
 	inLinks   [][]int32
 	frozen    bool
 	docByName map[string]DocID
+
+	// byTag caches NodesByTag per tag.  Built by Freeze so queries against
+	// a frozen collection answer tag lookups without scanning all nodes.
+	byTag map[string][]NodeID
 }
 
 // NewCollection returns an empty collection.
@@ -275,6 +279,10 @@ func (c *Collection) Freeze() {
 		c.outLinks[l.From] = append(c.outLinks[l.From], int32(i))
 		c.inLinks[l.To] = append(c.inLinks[l.To], int32(i))
 	}
+	c.byTag = make(map[string][]NodeID)
+	for i := range c.nodes {
+		c.byTag[c.nodes[i].Tag] = append(c.byTag[c.nodes[i].Tag], NodeID(i))
+	}
 	c.frozen = true
 }
 
@@ -285,7 +293,12 @@ func (c *Collection) Frozen() bool { return c.frozen }
 func (c *Collection) DocOf(id NodeID) DocID { return c.nodes[id].Doc }
 
 // NodesByTag returns all node IDs with the given tag, in ascending order.
+// On a frozen collection the result is the cached lookup slice — callers
+// must not modify it.
 func (c *Collection) NodesByTag(tag string) []NodeID {
+	if c.frozen {
+		return c.byTag[tag]
+	}
 	var out []NodeID
 	for i := range c.nodes {
 		if c.nodes[i].Tag == tag {

@@ -9,6 +9,7 @@
 //	      [-timeout 2s] [-cache 1024] [-slow-query 100ms]
 //	      [-slow-query-sample 10] [-debug-addr :6060]
 //	      [-reindex-interval 0] [-snapshot-dir gens/] [-snapshot-retain 3]
+//	      [-shard-id 0 -shard-count 3 [-shard-vnodes 64]]
 //
 // Endpoints (see internal/server):
 //
@@ -24,6 +25,13 @@
 // against the live query load and hot-swaps improved generations in without
 // dropping a query; -snapshot-dir persists each generation (pruned to
 // -snapshot-retain) and warm-starts from the newest one on restart.
+//
+// With -shard-id/-shard-count the process runs as one shard of a
+// flixd-router cluster: it builds the same full index, additionally serves
+// POST /v1/shard/eval and GET /v1/shard/links, and answers partial-frontier
+// evaluations over the meta documents the consistent-hash ring assigns to
+// it.  The live-reindex loop is disabled in shard mode (the router
+// fingerprints the decomposition).
 //
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight queries before exiting (bounded by -drain).
@@ -73,11 +81,17 @@ func main() {
 		minQ     = flag.Int64("reindex-min-queries", 50, "queries a generation must serve before its statistics are trusted")
 		snapDir  = flag.String("snapshot-dir", "", "persist each index generation here and warm-start from the newest (empty disables)")
 		snapKeep = flag.Int("snapshot-retain", 3, "generation snapshots to keep in -snapshot-dir")
+		shardID  = flag.Int("shard-id", -1, "run as shard N of a flixd-router cluster (-1 disables shard mode)")
+		shardN   = flag.Int("shard-count", 0, "total shards in the cluster (required with -shard-id)")
+		shardVN  = flag.Int("shard-vnodes", 0, "ring virtual nodes per shard (0 = default; must match the router)")
 	)
 	flag.Parse()
 	if *dir == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *shardID >= 0 && (*shardN < 1 || *shardID >= *shardN) {
+		log.Fatalf("-shard-id %d needs -shard-count > %d", *shardID, *shardID)
 	}
 
 	loader := flix.NewLoader()
@@ -120,6 +134,17 @@ func main() {
 	}
 	if *cacheSz <= 0 {
 		scfg.CacheSize = -1
+	}
+	if *shardID >= 0 {
+		scfg.Shard = &server.ShardConfig{ID: *shardID, Count: *shardN, VNodes: *shardVN}
+		// A shard's meta-document decomposition is fingerprinted into the
+		// router's topology; swapping to a re-partitioned index mid-flight
+		// would silently remap node ownership, so the reindex loop stays
+		// off in shard mode (cluster reindexing is a rolling restart).
+		if *reindex > 0 {
+			log.Printf("shard mode: ignoring -reindex-interval %s", *reindex)
+			*reindex = 0
+		}
 	}
 	if !*quiet {
 		scfg.Logger = log.New(os.Stderr, "flixd: ", 0)
@@ -184,7 +209,12 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("serving %d documents / %d elements on %s", coll.NumDocs(), coll.NumNodes(), *addr)
+	if *shardID >= 0 {
+		log.Printf("serving %d documents / %d elements on %s as shard %d/%d",
+			coll.NumDocs(), coll.NumNodes(), *addr, *shardID, *shardN)
+	} else {
+		log.Printf("serving %d documents / %d elements on %s", coll.NumDocs(), coll.NumNodes(), *addr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

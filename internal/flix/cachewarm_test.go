@@ -1,0 +1,205 @@
+package flix
+
+import (
+	"sync"
+	"testing"
+)
+
+// fillCache issues one completed descendants query per key so it lands in
+// the cache, in the given order (last issued = most recently used).
+func fillCache(cache *QueryCache, keys []HotKey) {
+	for _, k := range keys {
+		cache.Descendants(k.Start, k.Tag, Options{}, func(Result) bool { return true })
+	}
+}
+
+// TestHotKeysEmptyCache checks the degenerate warming handoff: a fresh cache
+// has no working set, and warming from one is a no-op rather than an error.
+func TestHotKeysEmptyCache(t *testing.T) {
+	c, _ := buildSample(t)
+	ix, err := Build(c, Config{Kind: Hybrid, PartitionSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := ix.NewQueryCache(8)
+	if keys := cold.HotKeys(0); len(keys) != 0 {
+		t.Fatalf("HotKeys on empty cache = %v, want empty", keys)
+	}
+	if keys := cold.HotKeys(5); len(keys) != 0 {
+		t.Fatalf("HotKeys(5) on empty cache = %v, want empty", keys)
+	}
+	next := ix.NewQueryCache(8)
+	if n := next.Warm(nil, nil); n != 0 {
+		t.Fatalf("Warm(nil) = %d, want 0", n)
+	}
+	if n := next.Warm([]HotKey{}, nil); n != 0 {
+		t.Fatalf("Warm(empty) = %d, want 0", n)
+	}
+	if next.Len() != 0 {
+		t.Fatalf("cache length after empty warm = %d", next.Len())
+	}
+}
+
+// TestWarmSmallerCapacity checks warming a replacement cache whose capacity
+// is below the hot-key count: the sweep runs least recent first, so the
+// entries that survive eviction are exactly the most recently used ones.
+func TestWarmSmallerCapacity(t *testing.T) {
+	c, ids := buildSample(t)
+	ix, err := Build(c, Config{Kind: Hybrid, PartitionSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := ix.NewQueryCache(8)
+	// Four distinct queries, most recent last.
+	order := []HotKey{
+		{Start: ids["bib"], Tag: "title"},
+		{Start: ids["bib"], Tag: "author"},
+		{Start: ids["art1"], Tag: "title"},
+		{Start: ids["art2"], Tag: "title"},
+	}
+	fillCache(old, order)
+	keys := old.HotKeys(0)
+	if len(keys) != len(order) {
+		t.Fatalf("HotKeys = %d keys, want %d", len(keys), len(order))
+	}
+	// Most recently used first.
+	if keys[0] != order[len(order)-1] {
+		t.Fatalf("HotKeys[0] = %+v, want the most recent %+v", keys[0], order[len(order)-1])
+	}
+
+	next := ix.NewQueryCache(2)
+	if n := next.Warm(keys, nil); n != len(keys) {
+		t.Fatalf("Warm = %d, want %d (evictions do not abort the sweep)", n, len(keys))
+	}
+	if next.Len() != 2 {
+		t.Fatalf("cache length = %d, want capacity 2", next.Len())
+	}
+	// The survivors are the two hottest keys, and hitting them is a pure
+	// cache hit.
+	for _, k := range keys[:2] {
+		next.Descendants(k.Start, k.Tag, Options{}, func(Result) bool { return true })
+	}
+	if hits, misses := next.Counts(); hits != 2 || misses != 0 {
+		t.Fatalf("hits/misses after warming = %d/%d, want 2/0", hits, misses)
+	}
+	// The evicted (coldest) key misses.
+	cold := keys[len(keys)-1]
+	next.Descendants(cold.Start, cold.Tag, Options{}, func(Result) bool { return true })
+	if hits, misses := next.Counts(); misses != 1 {
+		t.Fatalf("hits/misses after cold lookup = %d/%d, want one miss", hits, misses)
+	}
+}
+
+// TestWarmTruncatedHotKeys checks HotKeys' n bound: a warming budget smaller
+// than the working set takes the n most recent keys only.
+func TestWarmTruncatedHotKeys(t *testing.T) {
+	c, ids := buildSample(t)
+	ix, err := Build(c, Config{Kind: Hybrid, PartitionSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := ix.NewQueryCache(8)
+	order := []HotKey{
+		{Start: ids["bib"], Tag: "author"},
+		{Start: ids["bib"], Tag: "title"},
+		{Start: ids["paper"], Tag: "title"},
+	}
+	fillCache(cache, order)
+	keys := cache.HotKeys(2)
+	if len(keys) != 2 {
+		t.Fatalf("HotKeys(2) = %d keys", len(keys))
+	}
+	if keys[0] != order[2] || keys[1] != order[1] {
+		t.Fatalf("HotKeys(2) = %+v, want the two most recent in MRU order", keys)
+	}
+	// n beyond the population clamps.
+	if keys := cache.HotKeys(100); len(keys) != len(order) {
+		t.Fatalf("HotKeys(100) = %d keys, want %d", len(keys), len(order))
+	}
+}
+
+// TestWarmConcurrentWithQueries checks the hot-swap scenario under the race
+// detector: the replacement cache is being warmed on the installer's
+// goroutine while clients already query both generations' caches, and a
+// cancellation ends the sweep early without corrupting the cache.
+func TestWarmConcurrentWithQueries(t *testing.T) {
+	c, ids := buildSample(t)
+	ix, err := Build(c, Config{Kind: Hybrid, PartitionSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := ix.NewQueryCache(8)
+	order := []HotKey{
+		{Start: ids["bib"], Tag: "title"},
+		{Start: ids["bib"], Tag: "author"},
+		{Start: ids["art1"], Tag: "title"},
+		{Start: ids["paper"], Tag: "title"},
+	}
+	fillCache(old, order)
+	next := ix.NewQueryCache(8)
+
+	cancel := make(chan struct{})
+	var wg sync.WaitGroup
+	// Clients hammer both caches while the warm sweep runs.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := order[(g+i)%len(order)]
+				target := next
+				if i%2 == 0 {
+					target = old
+				}
+				target.Descendants(k.Start, k.Tag, Options{}, func(Result) bool { return true })
+			}
+		}(g)
+	}
+	// A second warmer racing the first models overlapping swaps; store is
+	// idempotent per key so the outcome is the same working set.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		next.Warm(old.HotKeys(2), nil)
+	}()
+	warmed := next.Warm(old.HotKeys(0), cancel)
+	wg.Wait()
+	close(cancel)
+	if warmed != len(order) {
+		t.Fatalf("Warm = %d, want %d", warmed, len(order))
+	}
+	if next.Len() != len(order) {
+		t.Fatalf("cache length = %d, want %d", next.Len(), len(order))
+	}
+	// Every hot key replays from the warmed cache with the right stream.
+	for _, k := range order {
+		var got, want []Result
+		next.Descendants(k.Start, k.Tag, Options{ExactOrder: true}, func(r Result) bool {
+			got = append(got, r)
+			return true
+		})
+		ix.Descendants(k.Start, k.Tag, Options{ExactOrder: true}, func(r Result) bool {
+			want = append(want, r)
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("key %+v: %d results from warmed cache, %d from index", k, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("key %+v result %d: %+v != %+v", k, i, got[i], want[i])
+			}
+		}
+	}
+
+	// A cancellation that fires immediately warms nothing.
+	done := make(chan struct{})
+	close(done)
+	frozen := ix.NewQueryCache(8)
+	if n := frozen.Warm(old.HotKeys(0), done); n != 0 {
+		t.Fatalf("canceled Warm = %d, want 0", n)
+	}
+	if frozen.Len() != 0 {
+		t.Fatalf("canceled warm stored %d entries", frozen.Len())
+	}
+}

@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+)
+
+// This file holds the Prometheus text-exposition helpers shared by the
+// single-node server (internal/server) and the scatter-gather router
+// (internal/shard): both hand-roll the format on the standard library, and
+// histogram rendering is exactly the part that must not drift between them.
+
+// WriteHistogramText renders one histogram snapshot as a Prometheus
+// histogram series with a single label through the caller's printf-style
+// sink: cumulative _bucket lines, then _sum and _count.
+func WriteHistogramText(p func(format string, args ...any), name, label, value string, sn HistSnapshot) {
+	for _, bc := range sn.ExpositionBuckets() {
+		le := "+Inf"
+		if !math.IsInf(bc.Le, 1) {
+			le = FormatFloat(bc.Le)
+		}
+		p("%s_bucket{%s=%q,le=%q} %d\n", name, label, value, le, bc.Count)
+	}
+	p("%s_sum{%s=%q} %s\n", name, label, value, FormatFloat(sn.Sum().Seconds()))
+	p("%s_count{%s=%q} %d\n", name, label, value, sn.Count)
+}
+
+// FormatFloat renders a float the way Prometheus expects (shortest exact
+// decimal/scientific form).
+func FormatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -22,10 +22,27 @@ type Match struct {
 	PathLen int32
 }
 
+// Backend is the index surface the evaluator runs against: a local
+// *flix.Index in the single-node server, or the scatter-gather router in
+// the sharded tier (internal/shard), which evaluates each //-step scan
+// across the cluster.  The evaluator itself is backend-agnostic.
+type Backend interface {
+	// Collection returns the underlying document collection (tag lookups,
+	// content predicates, document roots).
+	Collection() *xmlgraph.Collection
+	// Descendants streams the elements named tag reachable from start in
+	// approximately ascending distance order (flix.Index semantics).
+	Descendants(start xmlgraph.NodeID, tag string, opts flix.Options, fn flix.Emit)
+	// Ancestors is the inverse-direction scan used by InverseScore.
+	Ancestors(start xmlgraph.NodeID, tag string, opts flix.Options, fn flix.Emit)
+}
+
+var _ Backend = (*flix.Index)(nil)
+
 // Evaluator runs parsed queries against a FliX index with optional
 // ontology-based tag expansion.
 type Evaluator struct {
-	Index *flix.Index
+	Index Backend
 	// Ontology expands ~tag steps; nil disables semantic vagueness.
 	Ontology *ontology.Ontology
 	// Decay scales relevance per path edge beyond the first on //-steps:

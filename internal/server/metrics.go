@@ -2,10 +2,8 @@ package server
 
 import (
 	"fmt"
-	"math"
 	"net/http"
 	"sort"
-	"strconv"
 
 	"repro/internal/obs"
 )
@@ -150,25 +148,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// writeHistogram renders one obs histogram as a Prometheus histogram series
-// with a single label: cumulative _bucket lines, then _sum and _count.
-func writeHistogram(p func(string, ...any), name, label, value string, sn obs.HistSnapshot) {
-	for _, bc := range sn.ExpositionBuckets() {
-		le := "+Inf"
-		if !math.IsInf(bc.Le, 1) {
-			le = formatFloat(bc.Le)
-		}
-		p("%s_bucket{%s=%q,le=%q} %d\n", name, label, value, le, bc.Count)
-	}
-	p("%s_sum{%s=%q} %s\n", name, label, value, formatFloat(sn.Sum().Seconds()))
-	p("%s_count{%s=%q} %d\n", name, label, value, sn.Count)
-}
-
-// formatFloat renders a float the way Prometheus expects (shortest exact
-// decimal/scientific form).
-func formatFloat(f float64) string {
-	return strconv.FormatFloat(f, 'g', -1, 64)
-}
+// writeHistogram and formatFloat alias the exposition helpers shared with
+// the router (internal/obs), keeping the two /metrics endpoints in one
+// format.
+var (
+	writeHistogram = obs.WriteHistogramText
+	formatFloat    = obs.FormatFloat
+)
 
 // sortedKeys returns the map's keys in sorted order, for a deterministic
 // exposition.

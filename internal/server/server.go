@@ -37,6 +37,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/ontology"
 	"repro/internal/query"
+	"repro/internal/shard"
 	"repro/internal/xmlgraph"
 )
 
@@ -75,6 +76,12 @@ type Config struct {
 	// TraceEventLimit caps the raw event list of each request trace
 	// (?trace=1 and slow-query tracing).  Default obs.DefaultEventLimit.
 	TraceEventLimit int
+	// Shard, when non-nil, runs the server as one shard of a
+	// scatter-gather cluster: /v1/shard/eval and /v1/shard/links are
+	// registered, /healthz reports the shard's ring position and
+	// decomposition fingerprint, and each generation carries the
+	// ownership mask the ring assigns to this shard.
+	Shard *ShardConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -118,6 +125,9 @@ type generation struct {
 	installed    time.Time
 	reason       string
 	warmed       int // queries pre-warmed from the previous generation's cache
+	// shard is the per-generation shard state (ownership mask,
+	// decomposition fingerprint); nil outside shard mode.
+	shard *shardGen
 }
 
 // Server serves a FliX index that can be hot-swapped under live traffic.
@@ -136,6 +146,9 @@ type Server struct {
 	sem     chan struct{}
 	started time.Time
 
+	// ring is the cluster's consistent-hash ring; nil outside shard mode.
+	ring *shard.Ring
+
 	// latency holds one lock-free histogram per query endpoint, across
 	// generations (per-strategy histograms live in the generation).  The
 	// map is built in New and read-only afterwards, so concurrent handler
@@ -147,6 +160,7 @@ type Server struct {
 	reqDescendants atomic.Int64
 	reqConnected   atomic.Int64
 	reqQuery       atomic.Int64
+	reqShardEval   atomic.Int64
 	shed           atomic.Int64
 	notReady       atomic.Int64
 	timeouts       atomic.Int64
@@ -177,7 +191,7 @@ func New(ix *flix.Index, cfg Config) *Server {
 // while the initial build runs in the background.
 func NewPending(coll *xmlgraph.Collection, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		coll:    coll,
 		cfg:     cfg,
 		sem:     make(chan struct{}, cfg.MaxInFlight),
@@ -186,8 +200,16 @@ func NewPending(coll *xmlgraph.Collection, cfg Config) *Server {
 			"descendants": new(obs.Histogram),
 			"connected":   new(obs.Histogram),
 			"query":       new(obs.Histogram),
+			"shard_eval":  new(obs.Histogram),
 		},
 	}
+	if cfg.Shard != nil {
+		if cfg.Shard.Count < 1 || cfg.Shard.ID < 0 || cfg.Shard.ID >= cfg.Shard.Count {
+			panic(fmt.Sprintf("server: shard %d of %d is not a valid ring position", cfg.Shard.ID, cfg.Shard.Count))
+		}
+		s.ring = shard.NewRing(cfg.Shard.Count, cfg.Shard.VNodes)
+	}
+	return s
 }
 
 // Install atomically hot-swaps in a new index and returns its generation
@@ -208,6 +230,7 @@ func (s *Server) Install(ix *flix.Index, reason string) uint64 {
 	for name := range ix.StrategyCounts() {
 		g.stratLatency[name] = new(obs.Histogram)
 	}
+	s.initShard(g)
 	if s.cfg.CacheSize > 0 {
 		g.cache = ix.NewQueryCache(s.cfg.CacheSize)
 		g.cache.StoreBounded = true
@@ -302,6 +325,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/connected", s.admit("connected", &s.reqConnected, s.handleConnected))
 	mux.HandleFunc("/v1/query", s.admit("query", &s.reqQuery, s.handleQuery))
 	mux.HandleFunc("/v1/admin/reindex", s.handleReindex)
+	if s.cfg.Shard != nil {
+		mux.HandleFunc("/v1/shard/eval", s.handleShardEval)
+		mux.HandleFunc("/v1/shard/links", s.handleShardLinks)
+	}
 	return s.withRequestID(s.logged(mux))
 }
 
@@ -330,13 +357,20 @@ func reqInfoFrom(ctx context.Context) *reqInfo {
 	return &reqInfo{}
 }
 
-// withRequestID assigns each request a short unique ID, exposed as the
-// X-Flix-Request-Id response header and carried in the context so the
-// access log and the slow-query log can correlate their lines.
+// withRequestID carries each request's ID in the context and exposes it as
+// the X-Flix-Request-Id response header, so the access log and the
+// slow-query log can correlate their lines.  A syntactically valid incoming
+// X-Flix-Request-Id is reused instead of replaced: the router stamps its ID
+// onto every shard RPC a query fans out into, and reuse is what makes one
+// query traceable across the whole cluster's logs.
 func (s *Server) withRequestID(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		ri := &reqInfo{id: fmt.Sprintf("%08x", s.reqSeq.Add(1))}
-		w.Header().Set("X-Flix-Request-Id", ri.id)
+		id := shard.SanitizeRequestID(r.Header.Get(shard.RequestIDHeader))
+		if id == "" {
+			id = fmt.Sprintf("%08x", s.reqSeq.Add(1))
+		}
+		ri := &reqInfo{id: id}
+		w.Header().Set(shard.RequestIDHeader, ri.id)
 		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), reqInfoKey, ri)))
 	})
 }
@@ -685,19 +719,33 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		json.NewEncoder(w).Encode(map[string]any{ //nolint:errcheck
-			"status": "starting",
-			"ready":  false,
-			"uptime": time.Since(s.started).Round(time.Millisecond).String(),
+			"status":      "starting",
+			"ready":       false,
+			"inFlight":    s.InFlight(),
+			"maxInFlight": s.cfg.MaxInFlight,
+			"uptime":      time.Since(s.started).Round(time.Millisecond).String(),
 		})
 		return
 	}
-	s.ok(w, map[string]any{
-		"status":     "ok",
-		"ready":      true,
-		"generation": g.num,
-		"swaps":      s.swaps.Load(),
-		"uptime":     time.Since(s.started).Round(time.Millisecond).String(),
-	})
+	body := map[string]any{
+		"status":      "ok",
+		"ready":       true,
+		"generation":  g.num,
+		"swaps":       s.swaps.Load(),
+		"inFlight":    s.InFlight(),
+		"maxInFlight": s.cfg.MaxInFlight,
+		"uptime":      time.Since(s.started).Round(time.Millisecond).String(),
+	}
+	// In shard mode the router's prober reads the ring position and the
+	// decomposition fingerprint from here on every probe.
+	if s.cfg.Shard != nil && g.shard != nil {
+		body["shard"] = map[string]any{
+			"id":          s.cfg.Shard.ID,
+			"count":       s.cfg.Shard.Count,
+			"fingerprint": g.shard.fingerprint,
+		}
+	}
+	s.ok(w, body)
 }
 
 // handleStatsz reports the engine's query-load statistics, the §7
@@ -770,6 +818,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	}
 	if rx := s.getReindexer(); rx != nil {
 		resp["reindex"] = rx.Status()
+	}
+	if sh := s.shardStatsz(g); sh != nil {
+		resp["shard"] = sh
 	}
 	if g.cache != nil {
 		hits, misses := g.cache.Counts()

@@ -1,0 +1,320 @@
+package shard
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"repro/internal/flix"
+	"repro/internal/xmlgraph"
+)
+
+// This file is the scatter-gather evaluator: the router-side half of the
+// paper's priority-queue evaluation.  Each shard answers a frontier batch
+// with exact local results plus the frontier entries that crossed into
+// foreign meta documents ("hops"); the router is the outer Dijkstra loop —
+// it dedupes hops against the best distance seen per node, re-dispatches
+// them to their owning shards in rounds, and min-merges the per-shard
+// sorted result runs into one stream.
+//
+// Because both sides relax with exact local distances and keep per-node
+// minima, the merged stream carries exact global shortest distances — the
+// differential harness checks it element-for-element against the BFS
+// oracle.
+
+// gatherOut is one scatter-gather evaluation's outcome.
+type gatherOut struct {
+	// results is min-distance-per-node, sorted by (dist, node).
+	results []flix.FrontierEntry
+	// partial reports dropped work: failed shards, a truncated shard
+	// evaluation, an exhausted hop budget or an expired deadline.
+	partial bool
+	// failed lists shard IDs whose batches were dropped (sorted).
+	failed []int
+	// rounds / fanouts / hopsDispatched describe the fan-out shape.
+	rounds         int
+	fanouts        int
+	hopsDispatched int
+}
+
+// gatherDescendants runs start//tag across the cluster and applies the
+// single-node self policy: the start node is reported only under
+// includeSelf (at distance 0), never as its own cycle-descendant.
+func (rt *Router) gatherDescendants(ctx context.Context, reqID string, start xmlgraph.NodeID, tag string, maxDist int32, needK int, includeSelf bool) gatherOut {
+	if needK > 0 && !includeSelf {
+		// The merged stream may contain start (dist 0, dropped below);
+		// widen the early-stop target so dropping it still leaves needK.
+		// needK == 0 means unbounded and must stay 0 (no early stop).
+		needK++
+	}
+	g := rt.gather(ctx, reqID, []flix.FrontierEntry{{Node: start, Dist: 0}}, tag, maxDist, needK, xmlgraph.InvalidNode)
+	if !includeSelf {
+		for i, e := range g.results {
+			if e.Node == start {
+				g.results = append(g.results[:i:i], g.results[i+1:]...)
+				break
+			}
+		}
+	}
+	return g
+}
+
+// gather runs the rounds loop.  needK > 0 enables the top-k early stop
+// (once needK results sit strictly below the pending-frontier watermark,
+// no later round can displace them); target != InvalidNode enables the
+// connectivity early stop (the target's distance is final once it is at or
+// below the watermark).  Early stops are exact, not partial.
+func (rt *Router) gather(ctx context.Context, reqID string, starts []flix.FrontierEntry, tag string, maxDist int32, needK int, target xmlgraph.NodeID) gatherOut {
+	topo := rt.topo.Load()
+	var out gatherOut
+	if topo == nil {
+		out.partial = true
+		return out
+	}
+	nShards := len(rt.shards)
+	// best is the lazy-deletion Dijkstra map: smallest distance at which
+	// each node has entered the cross-shard frontier.
+	best := make(map[xmlgraph.NodeID]int32, len(starts))
+	resultMin := make(map[xmlgraph.NodeID]int32)
+	failed := make(map[int]bool)
+	dispatched := 0
+	budgetHit := false
+
+	batches := make([][]flix.FrontierEntry, nShards)
+	stage := func(e flix.FrontierEntry) {
+		if e.Dist < 0 || (maxDist > 0 && e.Dist > maxDist) {
+			return
+		}
+		if d, ok := best[e.Node]; ok && d <= e.Dist {
+			rt.hopsDeduped.Add(1)
+			return
+		}
+		best[e.Node] = e.Dist
+		batches[rt.ring.Owner(topo.metaOf[e.Node])] = append(batches[rt.ring.Owner(topo.metaOf[e.Node])], e)
+	}
+	for _, e := range starts {
+		stage(e)
+	}
+
+	for {
+		if ctx.Err() != nil {
+			out.partial = true
+			break
+		}
+		// The watermark is the smallest pending frontier distance: every
+		// result a future round can produce sits at or above it.
+		watermark := int32(-1)
+		active := 0
+		for sh, b := range batches {
+			if len(b) == 0 {
+				continue
+			}
+			if failed[sh] {
+				// The shard already failed this query; its share of the
+				// frontier is lost — sound subset, flagged partial.
+				out.partial = true
+				batches[sh] = nil
+				continue
+			}
+			active++
+			for _, e := range b {
+				if watermark < 0 || e.Dist < watermark {
+					watermark = e.Dist
+				}
+			}
+		}
+		if active == 0 {
+			break
+		}
+		if needK > 0 && countBelow(resultMin, watermark) >= needK {
+			rt.earlyStops.Add(1)
+			break
+		}
+		if target != xmlgraph.InvalidNode {
+			if d, ok := resultMin[target]; ok && d <= watermark {
+				rt.earlyStops.Add(1)
+				break
+			}
+		}
+
+		out.rounds++
+		type shardOut struct {
+			sh   int
+			resp *EvalResponse
+			err  error
+		}
+		outs := make(chan shardOut, active)
+		for sh, b := range batches {
+			if len(b) == 0 {
+				continue
+			}
+			out.fanouts++
+			go func(sh int, entries []flix.FrontierEntry) {
+				t0 := time.Now()
+				resp, err := rt.client.Eval(ctx, sh, reqID, &EvalRequest{Entries: entries, Tag: tag, MaxDist: maxDist})
+				rt.shardLatency[sh].Observe(time.Since(t0))
+				outs <- shardOut{sh: sh, resp: resp, err: err}
+			}(sh, b)
+		}
+		// The dispatch goroutines hold the old batch slices; from here on
+		// batches accumulates the next round's frontier.
+		batches = make([][]flix.FrontierEntry, nShards)
+		for i := 0; i < active; i++ {
+			o := <-outs
+			if o.err != nil {
+				failed[o.sh] = true
+				out.partial = true
+				rt.shardFailures.Add(1)
+				if rt.cfg.Logger != nil {
+					rt.cfg.Logger.Printf("id=%s shard %d dropped from query: %v", reqID, o.sh, o.err)
+				}
+				continue
+			}
+			if o.resp.Fingerprint != topo.fingerprint {
+				// The shard swapped to a different decomposition mid-query;
+				// its node IDs no longer map onto our topology.
+				failed[o.sh] = true
+				out.partial = true
+				rt.shardFailures.Add(1)
+				if rt.cfg.Logger != nil {
+					rt.cfg.Logger.Printf("id=%s shard %d dropped: fingerprint %s != topology %s",
+						reqID, o.sh, o.resp.Fingerprint, topo.fingerprint)
+				}
+				continue
+			}
+			if o.resp.Truncated {
+				out.partial = true
+			}
+			for _, r := range o.resp.Results {
+				if d, ok := resultMin[r.Node]; !ok || r.Dist < d {
+					resultMin[r.Node] = r.Dist
+				}
+			}
+			for _, hp := range o.resp.Hops {
+				rt.hops.Add(1)
+				if hp.Dist < 0 || (maxDist > 0 && hp.Dist > maxDist) {
+					continue
+				}
+				if d, ok := best[hp.Node]; ok && d <= hp.Dist {
+					rt.hopsDeduped.Add(1)
+					continue
+				}
+				if rt.cfg.HopBudget > 0 && dispatched >= rt.cfg.HopBudget {
+					budgetHit = true
+					continue
+				}
+				best[hp.Node] = hp.Dist
+				dispatched++
+				ow := rt.ring.Owner(topo.metaOf[hp.Node])
+				batches[ow] = append(batches[ow], hp)
+			}
+		}
+	}
+
+	if budgetHit {
+		out.partial = true
+		rt.budgetStops.Add(1)
+	}
+	out.hopsDispatched = dispatched
+	out.results = sortEntries(resultMin)
+	out.failed = sortedShardIDs(failed)
+	rt.rounds.Add(int64(out.rounds))
+	rt.fanouts.Add(int64(out.fanouts))
+	if out.partial {
+		rt.partials.Add(1)
+	}
+	return out
+}
+
+// countBelow counts results strictly below the watermark — the immutable
+// prefix of the merged stream.
+func countBelow(m map[xmlgraph.NodeID]int32, watermark int32) int {
+	if watermark < 0 {
+		return 0
+	}
+	n := 0
+	for _, d := range m {
+		if d < watermark {
+			n++
+		}
+	}
+	return n
+}
+
+// sortEntries flattens a min-distance map into the (dist, node) order the
+// wire protocol promises.
+func sortEntries(m map[xmlgraph.NodeID]int32) []flix.FrontierEntry {
+	out := make([]flix.FrontierEntry, 0, len(m))
+	for n, d := range m {
+		out = append(out, flix.FrontierEntry{Node: n, Dist: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+func sortedShardIDs(failed map[int]bool) []int {
+	if len(failed) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(failed))
+	for sh := range failed {
+		out = append(out, sh)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// routerBackend adapts the scatter-gather evaluator to query.Backend, so
+// the unchanged ranked evaluator (internal/query) runs its //-step scans
+// across the cluster.  It is used by one request goroutine at a time.
+type routerBackend struct {
+	rt        *Router
+	ctx       context.Context
+	reqID     string
+	partial   bool
+	failedSet map[int]bool
+	failed    []int
+}
+
+func (b *routerBackend) Collection() *xmlgraph.Collection { return b.rt.coll }
+
+func (b *routerBackend) Descendants(start xmlgraph.NodeID, tag string, opts flix.Options, fn flix.Emit) {
+	g := b.rt.gatherDescendants(b.ctx, b.reqID, start, tag, opts.MaxDist, opts.MaxResults, opts.IncludeSelf)
+	b.merge(g)
+	emitted := 0
+	for _, e := range g.results {
+		if opts.MaxResults > 0 && emitted >= opts.MaxResults {
+			return
+		}
+		if !fn(flix.Result{Node: e.Node, Dist: e.Dist}) {
+			return
+		}
+		emitted++
+	}
+}
+
+// Ancestors is intentionally a no-op: the router does not enable
+// InverseScore, so the ranked evaluator never calls it.
+func (b *routerBackend) Ancestors(start xmlgraph.NodeID, tag string, opts flix.Options, fn flix.Emit) {
+}
+
+func (b *routerBackend) merge(g gatherOut) {
+	if g.partial {
+		b.partial = true
+	}
+	for _, sh := range g.failed {
+		if b.failedSet == nil {
+			b.failedSet = make(map[int]bool)
+		}
+		if !b.failedSet[sh] {
+			b.failedSet[sh] = true
+			b.failed = append(b.failed, sh)
+			sort.Ints(b.failed)
+		}
+	}
+}

@@ -1,0 +1,805 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/flix"
+	"repro/internal/obs"
+	"repro/internal/ontology"
+	"repro/internal/query"
+	"repro/internal/xmlgraph"
+)
+
+// RouterConfig tunes the scatter-gather router.  Shards is required; zero
+// values elsewhere take the documented defaults.
+type RouterConfig struct {
+	// Shards lists the shard base URLs; shard i of the ring is Shards[i].
+	Shards []string
+	// VNodes is the ring's virtual-node count per shard; it must match the
+	// shards' -shard-vnodes.  Default DefaultVNodes.
+	VNodes int
+	// Quorum is the number of ready shards required before the router
+	// reports ready (0 = all shards).  Queries may still touch a non-ready
+	// shard and come back partial; the quorum gates admission, not
+	// correctness.
+	Quorum int
+	// HopBudget bounds the cross-shard hop entries dispatched per query;
+	// exhausting it returns a partial result.  Default 100000.
+	HopBudget int
+	// MaxInFlight bounds concurrently evaluating queries (excess sheds
+	// with 429).  Default 64.
+	MaxInFlight int
+	// DefaultTimeout / MaxTimeout mirror the single-node server's
+	// per-request deadline handling.  Defaults 2s / 30s.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// DefaultLimit / MaxLimit mirror the single-node result limits.
+	// Defaults 100 / 10000.
+	DefaultLimit int
+	MaxLimit     int
+	// ShardTimeout bounds each shard RPC attempt.  Default 10s.
+	ShardTimeout time.Duration
+	// Retries / RetryBackoff tune the shard client.  Defaults 2 / 25ms.
+	Retries      int
+	RetryBackoff time.Duration
+	// ProbeInterval is the health-probe cadence.  Default 1s.
+	ProbeInterval time.Duration
+	// Logger receives access-log lines and prober events.  Nil disables.
+	Logger *log.Logger
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.Quorum <= 0 || c.Quorum > len(c.Shards) {
+		c.Quorum = len(c.Shards)
+	}
+	if c.HopBudget <= 0 {
+		c.HopBudget = 100000
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.DefaultLimit <= 0 {
+		c.DefaultLimit = 100
+	}
+	if c.MaxLimit <= 0 {
+		c.MaxLimit = 10000
+	}
+	if c.ShardTimeout <= 0 {
+		c.ShardTimeout = 10 * time.Second
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	return c
+}
+
+// topology is the router's immutable view of the cluster's meta-document
+// decomposition, bootstrapped from a shard's /v1/shard/links and swapped
+// atomically.
+type topology struct {
+	numMetas    int
+	numNodes    int
+	metaOf      []int32
+	linkCounts  []int32
+	fingerprint string
+	loadedFrom  int
+}
+
+// shardState is the router's live view of one shard, updated by the prober
+// and the gather loop, read by admission and /statsz.
+type shardState struct {
+	url         string
+	ready       atomic.Bool
+	saturated   atomic.Bool
+	generation  atomic.Uint64
+	inFlight    atomic.Int64
+	maxInFlight atomic.Int64
+	consecFails atomic.Int64
+	probes      atomic.Int64
+	probeFails  atomic.Int64
+	lastErr     atomic.Pointer[string]
+	fingerprint atomic.Pointer[string]
+}
+
+func (st *shardState) setErr(msg string) {
+	st.lastErr.Store(&msg)
+}
+
+func (st *shardState) errString() string {
+	if p := st.lastErr.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// Router fans queries out over a fixed set of flixd shards and merges the
+// per-shard streams back into single-node-shaped responses.  It owns no
+// index — only the collection (for node resolution and result rendering)
+// and the ring.
+type Router struct {
+	coll   *xmlgraph.Collection
+	onto   *ontology.Ontology
+	cfg    RouterConfig
+	client *Client
+	ring   *Ring
+
+	topo   atomic.Pointer[topology]
+	shards []*shardState
+
+	sem     chan struct{}
+	started time.Time
+
+	latency      map[string]*obs.Histogram
+	shardLatency []*obs.Histogram
+
+	reqSeq         atomic.Uint64
+	reqDescendants atomic.Int64
+	reqConnected   atomic.Int64
+	reqQuery       atomic.Int64
+	shed           atomic.Int64
+	notReady       atomic.Int64
+	timeouts       atomic.Int64
+	clientErrors   atomic.Int64
+
+	fanouts       atomic.Int64
+	rounds        atomic.Int64
+	hops          atomic.Int64
+	hopsDeduped   atomic.Int64
+	budgetStops   atomic.Int64
+	earlyStops    atomic.Int64
+	partials      atomic.Int64
+	shardFailures atomic.Int64
+}
+
+// NewRouter builds a router over the collection the shards serve.  Call
+// Start to begin health probing; the router reports ready once the topology
+// is loaded and a quorum of shards is up.
+func NewRouter(coll *xmlgraph.Collection, cfg RouterConfig) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("shard: router needs at least one shard URL")
+	}
+	cfg = cfg.withDefaults()
+	rt := &Router{
+		coll: coll,
+		cfg:  cfg,
+		client: NewClient(cfg.Shards, ClientOptions{
+			Timeout: cfg.ShardTimeout,
+			Retries: cfg.Retries,
+			Backoff: cfg.RetryBackoff,
+		}),
+		ring:    NewRing(len(cfg.Shards), cfg.VNodes),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		started: time.Now(),
+		latency: map[string]*obs.Histogram{
+			"descendants": new(obs.Histogram),
+			"connected":   new(obs.Histogram),
+			"query":       new(obs.Histogram),
+		},
+	}
+	rt.shards = make([]*shardState, len(cfg.Shards))
+	rt.shardLatency = make([]*obs.Histogram, len(cfg.Shards))
+	for i, url := range cfg.Shards {
+		rt.shards[i] = &shardState{url: url}
+		rt.shardLatency[i] = new(obs.Histogram)
+	}
+	return rt, nil
+}
+
+// SetOntology installs the tag-similarity ontology for /v1/query ~tag
+// expansion.  Must be called before Handler.
+func (rt *Router) SetOntology(o *ontology.Ontology) { rt.onto = o }
+
+// Start launches the health prober; it probes immediately, then every
+// ProbeInterval until ctx is cancelled.
+func (rt *Router) Start(ctx context.Context) {
+	go func() {
+		rt.probeOnce(ctx)
+		t := time.NewTicker(rt.cfg.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				rt.probeOnce(ctx)
+			}
+		}
+	}()
+}
+
+// probeOnce probes every shard's /healthz in parallel and refreshes the
+// topology when needed.
+func (rt *Router) probeOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for i := range rt.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rt.probeShard(ctx, i)
+		}(i)
+	}
+	wg.Wait()
+	rt.maybeLoadTopology(ctx)
+}
+
+func (rt *Router) probeShard(ctx context.Context, i int) {
+	st := rt.shards[i]
+	st.probes.Add(1)
+	h, err := rt.client.Health(ctx, i)
+	if err != nil {
+		st.probeFails.Add(1)
+		st.consecFails.Add(1)
+		st.ready.Store(false)
+		st.setErr(err.Error())
+		return
+	}
+	st.generation.Store(h.Generation)
+	st.inFlight.Store(int64(h.InFlight))
+	st.maxInFlight.Store(int64(h.MaxInFlight))
+	st.saturated.Store(h.MaxInFlight > 0 && h.InFlight >= h.MaxInFlight)
+	if !h.Ready {
+		st.ready.Store(false)
+		st.setErr("shard not ready")
+		return
+	}
+	if h.Shard == nil {
+		st.ready.Store(false)
+		st.setErr("shard is not running in shard mode")
+		return
+	}
+	if h.Shard.ID != i || h.Shard.Count != len(rt.shards) {
+		st.ready.Store(false)
+		st.setErr(fmt.Sprintf("ring mismatch: shard reports %d/%d, router expects %d/%d",
+			h.Shard.ID, h.Shard.Count, i, len(rt.shards)))
+		return
+	}
+	st.fingerprint.Store(&h.Shard.Fingerprint)
+	if topo := rt.topo.Load(); topo != nil && h.Shard.Fingerprint != topo.fingerprint {
+		st.ready.Store(false)
+		st.setErr("meta-document fingerprint disagrees with the loaded topology")
+		return
+	}
+	st.consecFails.Store(0)
+	st.setErr("")
+	st.ready.Store(true)
+}
+
+// maybeLoadTopology bootstraps the topology from the first ready shard, or
+// reloads it when every reporting shard has moved to a new (agreeing)
+// fingerprint — the whole cluster was reindexed in lockstep.
+func (rt *Router) maybeLoadTopology(ctx context.Context) {
+	topo := rt.topo.Load()
+	from := -1
+	if topo == nil {
+		for i, st := range rt.shards {
+			if st.ready.Load() {
+				from = i
+				break
+			}
+		}
+	} else {
+		// Reload only when no shard matches the loaded topology anymore
+		// and all reporting shards agree with each other.
+		agreed := ""
+		for _, st := range rt.shards {
+			fp := st.fingerprint.Load()
+			if fp == nil {
+				continue
+			}
+			if *fp == topo.fingerprint {
+				return
+			}
+			if agreed == "" {
+				agreed = *fp
+			} else if *fp != agreed {
+				return
+			}
+		}
+		if agreed == "" {
+			return
+		}
+		for i, st := range rt.shards {
+			if fp := st.fingerprint.Load(); fp != nil && *fp == agreed {
+				from = i
+				break
+			}
+		}
+	}
+	if from < 0 {
+		return
+	}
+	lr, err := rt.client.Links(ctx, from, false)
+	if err != nil {
+		if rt.cfg.Logger != nil {
+			rt.cfg.Logger.Printf("topology load from shard %d failed: %v", from, err)
+		}
+		return
+	}
+	if lr.Shards != len(rt.shards) || lr.VNodes != rt.cfg.VNodes {
+		if rt.cfg.Logger != nil {
+			rt.cfg.Logger.Printf("topology from shard %d rejected: ring %d/%d, router %d/%d",
+				from, lr.Shards, lr.VNodes, len(rt.shards), rt.cfg.VNodes)
+		}
+		return
+	}
+	if lr.NumNodes != rt.coll.NumNodes() || len(lr.MetaOf) != rt.coll.NumNodes() {
+		if rt.cfg.Logger != nil {
+			rt.cfg.Logger.Printf("topology from shard %d rejected: %d nodes, collection has %d",
+				from, lr.NumNodes, rt.coll.NumNodes())
+		}
+		return
+	}
+	rt.topo.Store(&topology{
+		numMetas:    lr.NumMetas,
+		numNodes:    lr.NumNodes,
+		metaOf:      lr.MetaOf,
+		linkCounts:  lr.LinkCounts,
+		fingerprint: lr.Fingerprint,
+		loadedFrom:  from,
+	})
+	if rt.cfg.Logger != nil {
+		rt.cfg.Logger.Printf("topology loaded from shard %d: %d meta documents, fingerprint %s",
+			from, lr.NumMetas, lr.Fingerprint)
+	}
+}
+
+// readyShards counts shards currently probing ready.
+func (rt *Router) readyShards() int {
+	n := 0
+	for _, st := range rt.shards {
+		if st.ready.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// Ready reports whether the router can serve: topology loaded and a quorum
+// of shards up.
+func (rt *Router) Ready() bool {
+	return rt.topo.Load() != nil && rt.readyShards() >= rt.cfg.Quorum
+}
+
+// WaitReady blocks until the router is ready or ctx expires.
+func (rt *Router) WaitReady(ctx context.Context) error {
+	t := time.NewTicker(10 * time.Millisecond)
+	defer t.Stop()
+	for {
+		if rt.Ready() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// saturatedCluster reports whether every ready shard is at its admission
+// limit — the backpressure signal: fanning out another query would only get
+// 429s from the shards, so the router sheds it at its own door.
+func (rt *Router) saturatedCluster() bool {
+	anyReady := false
+	for _, st := range rt.shards {
+		if !st.ready.Load() {
+			continue
+		}
+		anyReady = true
+		if !st.saturated.Load() {
+			return false
+		}
+	}
+	return anyReady
+}
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", rt.handleHealthz)
+	mux.HandleFunc("/statsz", rt.handleStatsz)
+	mux.HandleFunc("/metrics", rt.handleMetrics)
+	mux.HandleFunc("/v1/descendants", rt.admit("descendants", &rt.reqDescendants, rt.handleDescendants))
+	mux.HandleFunc("/v1/connected", rt.admit("connected", &rt.reqConnected, rt.handleConnected))
+	mux.HandleFunc("/v1/query", rt.admit("query", &rt.reqQuery, rt.handleQuery))
+	return rt.withRequestID(rt.logged(mux))
+}
+
+type ctxKey int
+
+const reqIDKey ctxKey = 0
+
+// requestIDFrom returns the request's ID ("" for handlers invoked without
+// the middleware).
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey).(string)
+	return id
+}
+
+// withRequestID reuses a syntactically valid incoming X-Flix-Request-Id —
+// so a caller's ID correlates router and shard logs — or assigns a fresh
+// one, and propagates it into the context for the gather loop's shard RPCs.
+func (rt *Router) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := SanitizeRequestID(r.Header.Get(RequestIDHeader))
+		if id == "" {
+			id = fmt.Sprintf("%08x", rt.reqSeq.Add(1))
+		}
+		w.Header().Set(RequestIDHeader, id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), reqIDKey, id)))
+	})
+}
+
+// SanitizeRequestID validates a client-supplied request ID: 1..64 chars of
+// [A-Za-z0-9._-].  Anything else returns "" (caller assigns a fresh ID) so
+// hostile header values never reach a log line or an upstream header.
+func SanitizeRequestID(raw string) string {
+	if len(raw) == 0 || len(raw) > 64 {
+		return ""
+	}
+	for i := 0; i < len(raw); i++ {
+		c := raw[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+		default:
+			return ""
+		}
+	}
+	return raw
+}
+
+// admit wraps a handler with the readiness gate, cluster backpressure, the
+// admission semaphore and the per-request deadline — the single-node
+// server's admission pipeline with one extra stage (shard saturation).
+func (rt *Router) admit(endpoint string, counter *atomic.Int64, h func(http.ResponseWriter, *http.Request, context.Context)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		counter.Add(1)
+		if !rt.Ready() {
+			rt.notReady.Add(1)
+			w.Header().Set("Retry-After", "1")
+			rt.fail(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("router not ready: %d/%d shards up (quorum %d)",
+					rt.readyShards(), len(rt.shards), rt.cfg.Quorum))
+			return
+		}
+		if rt.saturatedCluster() {
+			rt.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			rt.fail(w, http.StatusTooManyRequests, "all shards at capacity, retry later")
+			return
+		}
+		select {
+		case rt.sem <- struct{}{}:
+			defer func() { <-rt.sem }()
+		default:
+			rt.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			rt.fail(w, http.StatusTooManyRequests, "router at capacity, retry later")
+			return
+		}
+		timeout, err := rt.timeoutFor(r)
+		if err != nil {
+			rt.fail(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		t0 := time.Now()
+		h(w, r, ctx)
+		if hg := rt.latency[endpoint]; hg != nil {
+			hg.Observe(time.Since(t0))
+		}
+	}
+}
+
+// handleDescendants answers GET /v1/descendants with the single-node wire
+// shape plus the partial-results contract: "partial" and "failedShards" in
+// the body, X-Flix-Shards-Failed on the response.
+func (rt *Router) handleDescendants(w http.ResponseWriter, r *http.Request, ctx context.Context) {
+	q := r.URL.Query()
+	start, err := rt.resolveNode(q.Get("start"))
+	if err != nil {
+		rt.fail(w, http.StatusNotFound, "start: "+err.Error())
+		return
+	}
+	k, err := rt.limitFor(r)
+	if err != nil {
+		rt.fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	maxDist, err := intParam(q.Get("maxdist"), 0)
+	if err != nil {
+		rt.fail(w, http.StatusBadRequest, "bad maxdist: "+err.Error())
+		return
+	}
+	includeSelf := boolParam(q.Get("self"))
+	g := rt.gatherDescendants(ctx, requestIDFrom(ctx), start, q.Get("tag"), int32(maxDist), k, includeSelf)
+	timedOut := expired(ctx)
+	if timedOut {
+		rt.timeouts.Add(1)
+	}
+	results := make([]nodeJSON, 0, min(len(g.results), k))
+	for _, e := range g.results {
+		if len(results) >= k {
+			break
+		}
+		results = append(results, rt.nodeJSON(e.Node, e.Dist))
+	}
+	rt.setPartialHeader(w, g)
+	rt.ok(w, map[string]any{
+		"results":      results,
+		"count":        len(results),
+		"timedOut":     timedOut,
+		"partial":      g.partial,
+		"failedShards": g.failed,
+		"rounds":       g.rounds,
+	})
+}
+
+// handleConnected answers GET /v1/connected by gathering start//tag(to)
+// with an early stop once the target's distance is final.
+func (rt *Router) handleConnected(w http.ResponseWriter, r *http.Request, ctx context.Context) {
+	q := r.URL.Query()
+	from, err := rt.resolveNode(q.Get("from"))
+	if err != nil {
+		rt.fail(w, http.StatusNotFound, "from: "+err.Error())
+		return
+	}
+	to, err := rt.resolveNode(q.Get("to"))
+	if err != nil {
+		rt.fail(w, http.StatusNotFound, "to: "+err.Error())
+		return
+	}
+	maxDist, err := intParam(q.Get("maxdist"), 0)
+	if err != nil {
+		rt.fail(w, http.StatusBadRequest, "bad maxdist: "+err.Error())
+		return
+	}
+	var (
+		dist int32
+		ok   bool
+		g    gatherOut
+	)
+	if from == to {
+		dist, ok = 0, true
+	} else {
+		g = rt.gather(ctx, requestIDFrom(ctx), []flix.FrontierEntry{{Node: from, Dist: 0}},
+			rt.coll.Tag(to), int32(maxDist), 0, to)
+		for _, e := range g.results {
+			if e.Node == to {
+				dist, ok = e.Dist, true
+				break
+			}
+		}
+	}
+	timedOut := expired(ctx)
+	if timedOut {
+		rt.timeouts.Add(1)
+	}
+	rt.setPartialHeader(w, g)
+	resp := map[string]any{"connected": ok, "timedOut": timedOut, "partial": g.partial, "failedShards": g.failed}
+	if ok {
+		resp["dist"] = dist
+	}
+	rt.ok(w, resp)
+}
+
+// handleQuery answers GET /v1/query: the regular ranked evaluator running
+// against the scatter-gather backend, so every //-step scan fans out.
+func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request, ctx context.Context) {
+	expr := r.URL.Query().Get("q")
+	if expr == "" {
+		rt.fail(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	k, err := rt.limitFor(r)
+	if err != nil {
+		rt.fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	pq, err := query.Parse(expr)
+	if err != nil {
+		rt.fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	be := &routerBackend{rt: rt, ctx: ctx, reqID: requestIDFrom(ctx)}
+	eval := &query.Evaluator{
+		Index:      be,
+		Ontology:   rt.onto,
+		MaxResults: k,
+		Cancel:     ctx.Done(),
+	}
+	matches := eval.EvaluateTopK(pq, k)
+	timedOut := expired(ctx)
+	if timedOut {
+		rt.timeouts.Add(1)
+	}
+	type matchJSON struct {
+		nodeJSON
+		Score   float64 `json:"score"`
+		PathLen int32   `json:"pathLen"`
+	}
+	out := make([]matchJSON, 0, len(matches))
+	for _, m := range matches {
+		out = append(out, matchJSON{
+			nodeJSON: rt.nodeJSON(m.Node, m.PathLen),
+			Score:    m.Score,
+			PathLen:  m.PathLen,
+		})
+	}
+	rt.setPartialHeader(w, gatherOut{partial: be.partial, failed: be.failed})
+	rt.ok(w, map[string]any{
+		"results":      out,
+		"count":        len(out),
+		"timedOut":     timedOut,
+		"partial":      be.partial,
+		"failedShards": be.failed,
+	})
+}
+
+// setPartialHeader attaches X-Flix-Shards-Failed when shards dropped out of
+// a gather.
+func (rt *Router) setPartialHeader(w http.ResponseWriter, g gatherOut) {
+	if len(g.failed) == 0 {
+		return
+	}
+	ids := make([]string, len(g.failed))
+	for i, sh := range g.failed {
+		ids[i] = strconv.Itoa(sh)
+	}
+	w.Header().Set(FailedShardsHeader, strings.Join(ids, ","))
+}
+
+// --- request plumbing shared with the single-node server's wire shape ---
+// (internal/server imports this package, so these small helpers are
+// duplicated rather than imported back.)
+
+func (rt *Router) timeoutFor(r *http.Request) (time.Duration, error) {
+	raw := r.URL.Query().Get("timeout")
+	if raw == "" {
+		return rt.cfg.DefaultTimeout, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("bad timeout %q (want a positive duration like 500ms)", raw)
+	}
+	if d > rt.cfg.MaxTimeout {
+		d = rt.cfg.MaxTimeout
+	}
+	return d, nil
+}
+
+func (rt *Router) limitFor(r *http.Request) (int, error) {
+	raw := r.URL.Query().Get("k")
+	if raw == "" {
+		return rt.cfg.DefaultLimit, nil
+	}
+	k, err := strconv.Atoi(raw)
+	if err != nil || k <= 0 {
+		return 0, fmt.Errorf("bad k %q (want a positive integer)", raw)
+	}
+	if k > rt.cfg.MaxLimit {
+		k = rt.cfg.MaxLimit
+	}
+	return k, nil
+}
+
+func (rt *Router) resolveNode(raw string) (xmlgraph.NodeID, error) {
+	if raw == "" {
+		return xmlgraph.InvalidNode, fmt.Errorf("missing node parameter")
+	}
+	if d, ok := rt.coll.DocByName(raw); ok {
+		return rt.coll.Doc(d).Root, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 || n >= rt.coll.NumNodes() {
+		return xmlgraph.InvalidNode, fmt.Errorf("unknown node %q (want a document name or a node id < %d)", raw, rt.coll.NumNodes())
+	}
+	return xmlgraph.NodeID(n), nil
+}
+
+type nodeJSON struct {
+	Node xmlgraph.NodeID `json:"node"`
+	Tag  string          `json:"tag"`
+	Doc  string          `json:"doc"`
+	Text string          `json:"text,omitempty"`
+	Dist int32           `json:"dist"`
+}
+
+func (rt *Router) nodeJSON(n xmlgraph.NodeID, dist int32) nodeJSON {
+	return nodeJSON{
+		Node: n,
+		Tag:  rt.coll.Tag(n),
+		Doc:  rt.coll.Doc(rt.coll.DocOf(n)).Name,
+		Text: snippet(rt.coll.Node(n).Text),
+		Dist: dist,
+	}
+}
+
+func snippet(t string) string {
+	t = strings.Join(strings.Fields(t), " ")
+	if len(t) > 80 {
+		t = t[:77] + "..."
+	}
+	return t
+}
+
+func expired(ctx context.Context) bool {
+	if ctx.Err() != nil {
+		return true
+	}
+	dl, ok := ctx.Deadline()
+	return ok && !time.Now().Before(dl)
+}
+
+func (rt *Router) ok(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func (rt *Router) fail(w http.ResponseWriter, code int, msg string) {
+	if code >= 400 && code < 500 && code != http.StatusTooManyRequests {
+		rt.clientErrors.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{"error": msg}) //nolint:errcheck
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (rt *Router) logged(next http.Handler) http.Handler {
+	if rt.cfg.Logger == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r)
+		rt.cfg.Logger.Printf("id=%s %s %s %d %s", requestIDFrom(r.Context()),
+			r.Method, r.URL.RequestURI(), sw.status, time.Since(t0).Round(time.Microsecond))
+	})
+}
+
+func intParam(raw string, def int) (int, error) {
+	if raw == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("%q is not a non-negative integer", raw)
+	}
+	return n, nil
+}
+
+func boolParam(raw string) bool {
+	return raw == "1" || raw == "true"
+}

@@ -1,0 +1,224 @@
+package shard
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// handleHealthz reports aggregate readiness: 200 once the topology is
+// loaded and a quorum of shards is up, 503 (with the same JSON body)
+// otherwise, so orchestrators and the shard client read one shape.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ready := rt.Ready()
+	readyShards := rt.readyShards()
+	status := "ok"
+	switch {
+	case !ready:
+		status = "starting"
+	case readyShards < len(rt.shards):
+		status = "degraded"
+	}
+	shards := make([]map[string]any, len(rt.shards))
+	for i, st := range rt.shards {
+		shards[i] = map[string]any{
+			"id":         i,
+			"url":        st.url,
+			"ready":      st.ready.Load(),
+			"saturated":  st.saturated.Load(),
+			"generation": st.generation.Load(),
+		}
+		if e := st.errString(); e != "" {
+			shards[i]["error"] = e
+		}
+	}
+	body := map[string]any{
+		"status":      status,
+		"ready":       ready,
+		"readyShards": readyShards,
+		"shards":      len(rt.shards),
+		"quorum":      rt.cfg.Quorum,
+		"inFlight":    len(rt.sem),
+		"maxInFlight": cap(rt.sem),
+		"uptime":      time.Since(rt.started).Round(time.Millisecond).String(),
+		"shardStates": shards,
+	}
+	if !ready {
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	rt.ok(w, body)
+}
+
+// handleStatsz renders the router's operational counters plus a per-shard
+// section: probe state, backpressure and the shard RPC latency quantiles.
+func (rt *Router) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	topoSection := map[string]any{"loaded": false}
+	if topo := rt.topo.Load(); topo != nil {
+		topoSection = map[string]any{
+			"loaded":      true,
+			"metas":       topo.numMetas,
+			"nodes":       topo.numNodes,
+			"fingerprint": topo.fingerprint,
+			"loadedFrom":  topo.loadedFrom,
+		}
+	}
+	latency := map[string]any{}
+	for ep, h := range rt.latency {
+		sn := h.Snapshot()
+		latency[ep] = map[string]any{
+			"count": sn.Count,
+			"p50":   durString(sn.Quantile(0.50)),
+			"p99":   durString(sn.Quantile(0.99)),
+		}
+	}
+	shards := make([]map[string]any, len(rt.shards))
+	for i, st := range rt.shards {
+		sn := rt.shardLatency[i].Snapshot()
+		shards[i] = map[string]any{
+			"id":          i,
+			"url":         st.url,
+			"ready":       st.ready.Load(),
+			"saturated":   st.saturated.Load(),
+			"generation":  st.generation.Load(),
+			"inFlight":    st.inFlight.Load(),
+			"maxInFlight": st.maxInFlight.Load(),
+			"probes":      st.probes.Load(),
+			"probeFails":  st.probeFails.Load(),
+			"consecFails": st.consecFails.Load(),
+			"rpcCount":    sn.Count,
+			"rpcP50":      durString(sn.Quantile(0.50)),
+			"rpcP99":      durString(sn.Quantile(0.99)),
+		}
+		if e := st.errString(); e != "" {
+			shards[i]["lastError"] = e
+		}
+	}
+	rt.ok(w, map[string]any{
+		"ready":    rt.Ready(),
+		"uptime":   time.Since(rt.started).Round(time.Millisecond).String(),
+		"topology": topoSection,
+		"requests": map[string]any{
+			"descendants":  rt.reqDescendants.Load(),
+			"connected":    rt.reqConnected.Load(),
+			"query":        rt.reqQuery.Load(),
+			"shed":         rt.shed.Load(),
+			"notReady":     rt.notReady.Load(),
+			"timeouts":     rt.timeouts.Load(),
+			"clientErrors": rt.clientErrors.Load(),
+			"inFlight":     len(rt.sem),
+			"maxInFlight":  cap(rt.sem),
+		},
+		"scatter": map[string]any{
+			"fanouts":       rt.fanouts.Load(),
+			"rounds":        rt.rounds.Load(),
+			"hops":          rt.hops.Load(),
+			"hopsDeduped":   rt.hopsDeduped.Load(),
+			"earlyStops":    rt.earlyStops.Load(),
+			"budgetStops":   rt.budgetStops.Load(),
+			"partials":      rt.partials.Load(),
+			"shardFailures": rt.shardFailures.Load(),
+			"hopBudget":     rt.cfg.HopBudget,
+		},
+		"latency":     latency,
+		"shardStates": shards,
+	})
+}
+
+func durString(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}
+
+// handleMetrics renders the router counters in the Prometheus text format,
+// same hand-rolled exposition as the single-node server (internal/obs).
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+
+	p("# HELP flix_router_ready Whether the router serves (topology loaded, quorum up).\n")
+	p("# TYPE flix_router_ready gauge\n")
+	if rt.Ready() {
+		p("flix_router_ready 1\n")
+	} else {
+		p("flix_router_ready 0\n")
+	}
+	p("# HELP flix_router_shards_ready Shards currently probing ready.\n")
+	p("# TYPE flix_router_shards_ready gauge\n")
+	p("flix_router_shards_ready %d\n", rt.readyShards())
+	p("# HELP flix_router_shards Configured shards.\n")
+	p("# TYPE flix_router_shards gauge\n")
+	p("flix_router_shards %d\n", len(rt.shards))
+
+	p("# HELP flix_router_requests_total Query requests received, by endpoint.\n")
+	p("# TYPE flix_router_requests_total counter\n")
+	p("flix_router_requests_total{endpoint=\"descendants\"} %d\n", rt.reqDescendants.Load())
+	p("flix_router_requests_total{endpoint=\"connected\"} %d\n", rt.reqConnected.Load())
+	p("flix_router_requests_total{endpoint=\"query\"} %d\n", rt.reqQuery.Load())
+	p("# HELP flix_router_requests_shed_total Requests rejected 429 (router or cluster at capacity).\n")
+	p("# TYPE flix_router_requests_shed_total counter\n")
+	p("flix_router_requests_shed_total %d\n", rt.shed.Load())
+	p("# HELP flix_router_requests_not_ready_total Requests answered 503 below quorum.\n")
+	p("# TYPE flix_router_requests_not_ready_total counter\n")
+	p("flix_router_requests_not_ready_total %d\n", rt.notReady.Load())
+	p("# HELP flix_router_request_timeouts_total Requests whose deadline expired mid-gather.\n")
+	p("# TYPE flix_router_request_timeouts_total counter\n")
+	p("flix_router_request_timeouts_total %d\n", rt.timeouts.Load())
+	p("# HELP flix_router_client_errors_total Requests rejected with a 4xx other than 429.\n")
+	p("# TYPE flix_router_client_errors_total counter\n")
+	p("flix_router_client_errors_total %d\n", rt.clientErrors.Load())
+
+	p("# HELP flix_router_fanouts_total Shard RPC batches dispatched.\n")
+	p("# TYPE flix_router_fanouts_total counter\n")
+	p("flix_router_fanouts_total %d\n", rt.fanouts.Load())
+	p("# HELP flix_router_rounds_total Scatter-gather rounds executed.\n")
+	p("# TYPE flix_router_rounds_total counter\n")
+	p("flix_router_rounds_total %d\n", rt.rounds.Load())
+	p("# HELP flix_router_hops_total Cross-shard hop entries returned by shards.\n")
+	p("# TYPE flix_router_hops_total counter\n")
+	p("flix_router_hops_total %d\n", rt.hops.Load())
+	p("# HELP flix_router_hops_deduped_total Hop entries dropped by the best-distance map.\n")
+	p("# TYPE flix_router_hops_deduped_total counter\n")
+	p("flix_router_hops_deduped_total %d\n", rt.hopsDeduped.Load())
+	p("# HELP flix_router_early_stops_total Gathers ended by the top-k or connectivity watermark.\n")
+	p("# TYPE flix_router_early_stops_total counter\n")
+	p("flix_router_early_stops_total %d\n", rt.earlyStops.Load())
+	p("# HELP flix_router_budget_stops_total Gathers that exhausted the hop budget.\n")
+	p("# TYPE flix_router_budget_stops_total counter\n")
+	p("flix_router_budget_stops_total %d\n", rt.budgetStops.Load())
+	p("# HELP flix_router_partial_results_total Queries answered with a partial result.\n")
+	p("# TYPE flix_router_partial_results_total counter\n")
+	p("flix_router_partial_results_total %d\n", rt.partials.Load())
+	p("# HELP flix_router_shard_failures_total Shard batches dropped after retries.\n")
+	p("# TYPE flix_router_shard_failures_total counter\n")
+	p("flix_router_shard_failures_total %d\n", rt.shardFailures.Load())
+
+	p("# HELP flix_router_request_duration_seconds Query latency by endpoint.\n")
+	p("# TYPE flix_router_request_duration_seconds histogram\n")
+	for _, ep := range []string{"connected", "descendants", "query"} {
+		writeHistogram(p, "flix_router_request_duration_seconds", "endpoint", ep, rt.latency[ep].Snapshot())
+	}
+	p("# HELP flix_router_shard_rpc_duration_seconds Shard RPC latency by shard.\n")
+	p("# TYPE flix_router_shard_rpc_duration_seconds histogram\n")
+	for i := range rt.shards {
+		writeHistogram(p, "flix_router_shard_rpc_duration_seconds", "shard", fmt.Sprintf("%d", i), rt.shardLatency[i].Snapshot())
+	}
+	p("# HELP flix_router_shard_ready Per-shard readiness.\n")
+	p("# TYPE flix_router_shard_ready gauge\n")
+	for i, st := range rt.shards {
+		v := 0
+		if st.ready.Load() {
+			v = 1
+		}
+		p("flix_router_shard_ready{shard=\"%d\"} %d\n", i, v)
+	}
+	p("# HELP flix_router_inflight_requests Queries currently evaluating.\n")
+	p("# TYPE flix_router_inflight_requests gauge\n")
+	p("flix_router_inflight_requests %d\n", len(rt.sem))
+}
+
+// writeHistogram aliases the exposition helper shared with the single-node
+// server's /metrics.
+var writeHistogram = obs.WriteHistogramText

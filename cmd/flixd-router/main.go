@@ -11,14 +11,20 @@
 //	             [-addr :8090] [-vnodes 64] [-quorum 0] [-hop-budget 100000]
 //	             [-inflight 64] [-timeout 2s] [-shard-timeout 10s]
 //	             [-retries 2] [-probe-interval 1s] [-ontology tags.txt]
+//	             [-debug-addr :6061]
 //
 // Endpoints (single-node wire shape plus the partial-results contract —
 // "partial" / "failedShards" in the body, X-Flix-Shards-Failed header):
 //
-//	GET /v1/descendants?start=<doc|node>&tag=<tag>[&k=][&maxdist=][&self=1]
-//	GET /v1/connected?from=<doc|node>&to=<doc|node>[&maxdist=]
-//	GET /v1/query?q=<expr>[&k=]
+//	GET /v1/descendants?start=<doc|node>&tag=<tag>[&k=][&maxdist=][&self=1][&trace=1]
+//	GET /v1/connected?from=<doc|node>&to=<doc|node>[&maxdist=][&trace=1]
+//	GET /v1/query?q=<expr>[&k=][&trace=1]
 //	GET /healthz · /statsz · /metrics
+//
+// ?trace=1 runs the query under distributed tracing: every shard RPC
+// carries the trace flag, shards answer with TraceFragments, and the
+// response carries the merged cluster trace (per-round scatter spans,
+// per-shard strategy breakdowns, hop re-dispatch decisions).
 //
 // /healthz answers 503 until the topology is loaded and -quorum shards
 // (default: all) probe ready.  A shard that fails mid-query is dropped from
@@ -32,6 +38,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -63,6 +70,7 @@ func main() {
 		ontoFile  = flag.String("ontology", "", "ontology file with 'tagA tagB score' lines for ~ expansion")
 		drain     = flag.Duration("drain", 15*time.Second, "shutdown grace period for in-flight queries")
 		quiet     = flag.Bool("quiet", false, "disable per-request access logging")
+		dbgAddr   = flag.String("debug-addr", "", "separate listen address for /debug/pprof (empty = disabled)")
 	)
 	flag.Parse()
 	if *dir == "" || *shards == "" {
@@ -125,6 +133,24 @@ func main() {
 	probeCtx, stopProbe := context.WithCancel(context.Background())
 	defer stopProbe()
 	rt.Start(probeCtx)
+
+	// The pprof endpoints live on their own listener so profiling access
+	// can be firewalled separately from the query API — same split as
+	// flixd's -debug-addr.
+	if *dbgAddr != "" {
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof on %s/debug/pprof/", *dbgAddr)
+			if err := http.ListenAndServe(*dbgAddr, dbg); err != nil {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+	}
 
 	srv := &http.Server{Addr: *addr, Handler: rt.Handler()}
 	errc := make(chan error, 1)

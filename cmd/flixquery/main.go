@@ -6,6 +6,7 @@
 //	flixquery -dir ./docs -query '//~movie//actor' [-config hybrid]
 //	flixquery -dir ./docs -start movies.xml -tag actor [-k 20]
 //	flixquery -dir ./docs -stats
+//	flixquery -server http://router:8090 -query '//movie//actor' -explain
 //
 // The -query form uses the ranked evaluator with structural and semantic
 // vagueness (an ontology can be supplied with -ontology file); the
@@ -13,6 +14,11 @@
 // With -explain either form additionally prints the query plan: per-meta-
 // document strategy, entry points, duplicate drops, runtime link hops, and
 // the frontier's distance progression.
+//
+// With -server the query runs against a live flixd or flixd-router over
+// HTTP instead of a locally built index; -explain then requests ?trace=1
+// and renders the server's EXPLAIN — for a router, the merged cluster
+// trace with per-shard fragments and per-round scatter spans.
 package main
 
 import (
@@ -45,8 +51,13 @@ func main() {
 		stats    = flag.Bool("stats", false, "print collection statistics and index summary, then exit")
 		saveIx   = flag.String("save", "", "write the built index to this file")
 		loadIx   = flag.String("load", "", "load a previously saved index instead of building (-config is ignored)")
+		server   = flag.String("server", "", "base URL of a running flixd or flixd-router; query remotely instead of building an index")
 	)
 	flag.Parse()
+	if *server != "" {
+		runRemote(strings.TrimRight(*server, "/"), *queryStr, *startDoc, *tag, *k, *maxDist, *timeout, *explain)
+		return
+	}
 	if *dir == "" {
 		flag.Usage()
 		os.Exit(2)

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// This file is flixquery's remote mode: -server points it at a running
+// flixd or flixd-router and queries go over the HTTP API instead of a
+// locally built index.  With -explain the request carries ?trace=1 and the
+// response's trace is rendered — a single-node EXPLAIN plan from flixd, or
+// the merged cluster trace (per-shard fragments, per-round scatter spans)
+// from a router.
+
+// remoteWire is the shared shape of /v1/descendants and /v1/query
+// responses; unknown fields (score on descendants, dist on query) simply
+// stay zero.
+type remoteWire struct {
+	Results []struct {
+		Node    int64   `json:"node"`
+		Tag     string  `json:"tag"`
+		Doc     string  `json:"doc"`
+		Text    string  `json:"text"`
+		Dist    int32   `json:"dist"`
+		Score   float64 `json:"score"`
+		PathLen int32   `json:"pathLen"`
+	} `json:"results"`
+	TimedOut     bool            `json:"timedOut"`
+	Partial      bool            `json:"partial"`
+	FailedShards []int           `json:"failedShards"`
+	Rounds       int             `json:"rounds"`
+	Trace        json.RawMessage `json:"trace"`
+}
+
+// runRemote sends one query to the server and prints results plus, with
+// -explain, the rendered trace.
+func runRemote(server, queryStr, startDoc, tag string, k, maxDist int, timeout time.Duration, explain bool) {
+	q := url.Values{}
+	var path string
+	switch {
+	case queryStr != "":
+		path = "/v1/query"
+		q.Set("q", queryStr)
+	case startDoc != "":
+		path = "/v1/descendants"
+		q.Set("start", startDoc)
+		if tag != "" {
+			q.Set("tag", tag)
+		}
+		if maxDist > 0 {
+			q.Set("maxdist", strconv.Itoa(maxDist))
+		}
+	default:
+		log.Fatal("remote mode needs -query or -start")
+	}
+	if k > 0 {
+		q.Set("k", strconv.Itoa(k))
+	}
+	if timeout > 0 {
+		q.Set("timeout", timeout.String())
+	}
+	if explain {
+		q.Set("trace", "1")
+	}
+
+	resp, err := http.Get(server + path + "?" + q.Encode())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.Unmarshal(body, &e) //nolint:errcheck
+		log.Fatalf("%s: status %d: %s", path, resp.StatusCode, e.Error)
+	}
+	var w remoteWire
+	if err := json.Unmarshal(body, &w); err != nil {
+		log.Fatalf("decode %s response: %v", path, err)
+	}
+
+	if len(w.Results) == 0 {
+		fmt.Println("no results")
+	}
+	for i, r := range w.Results {
+		if path == "/v1/query" {
+			fmt.Printf("%3d. %.3f  <%s>  %q  (doc %s, path length %d)\n",
+				i+1, r.Score, r.Tag, r.Text, r.Doc, r.PathLen)
+		} else {
+			fmt.Printf("%3d. dist=%-4d <%s>  %q  (doc %s)\n", i+1, r.Dist, r.Tag, r.Text, r.Doc)
+		}
+	}
+	if w.TimedOut {
+		log.Print("server deadline expired; results above are partial")
+	}
+	if w.Partial {
+		log.Printf("PARTIAL results: shards %v failed", w.FailedShards)
+	}
+	if explain {
+		fmt.Println()
+		fmt.Print(renderRemoteTrace(w.Trace))
+	}
+}
+
+// renderRemoteTrace renders the trace member of a traced response — an
+// obs.ClusterTrace from a router, an obs.Summary from a single flixd.  The
+// two are told apart by the cluster-only "shards" key.
+func renderRemoteTrace(raw json.RawMessage) string {
+	if len(raw) == 0 {
+		return "(server returned no trace; is ?trace=1 supported?)\n"
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return fmt.Sprintf("(undecodable trace: %v)\n", err)
+	}
+	if _, ok := probe["shards"]; ok {
+		var ct obs.ClusterTrace
+		if err := json.Unmarshal(raw, &ct); err != nil {
+			return fmt.Sprintf("(undecodable cluster trace: %v)\n", err)
+		}
+		return ct.Render()
+	}
+	var s obs.Summary
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return fmt.Sprintf("(undecodable trace summary: %v)\n", err)
+	}
+	return s.Render()
+}

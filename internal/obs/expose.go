@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math"
+	"runtime"
 	"strconv"
 )
 
@@ -29,4 +30,42 @@ func WriteHistogramText(p func(format string, args ...any), name, label, value s
 // decimal/scientific form).
 func FormatFloat(f float64) string {
 	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// WriteGoRuntimeText exposes the Go runtime gauges every flix binary
+// should publish — goroutine count, heap sizes, and GC pause totals — in
+// the standard go_* metric names, through the caller's printf-style sink.
+// runtime.ReadMemStats stops the world briefly; that cost is paid per
+// /metrics scrape, never on a query path.
+func WriteGoRuntimeText(p func(format string, args ...any)) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p("# HELP go_goroutines Number of goroutines that currently exist.\n")
+	p("# TYPE go_goroutines gauge\n")
+	p("go_goroutines %d\n", runtime.NumGoroutine())
+	p("# HELP go_memstats_heap_alloc_bytes Number of heap bytes allocated and still in use.\n")
+	p("# TYPE go_memstats_heap_alloc_bytes gauge\n")
+	p("go_memstats_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	p("# HELP go_memstats_heap_inuse_bytes Number of heap bytes that are in use.\n")
+	p("# TYPE go_memstats_heap_inuse_bytes gauge\n")
+	p("go_memstats_heap_inuse_bytes %d\n", ms.HeapInuse)
+	p("# HELP go_memstats_heap_sys_bytes Number of heap bytes obtained from system.\n")
+	p("# TYPE go_memstats_heap_sys_bytes gauge\n")
+	p("go_memstats_heap_sys_bytes %d\n", ms.HeapSys)
+	p("# HELP go_memstats_next_gc_bytes Number of heap bytes when next garbage collection will take place.\n")
+	p("# TYPE go_memstats_next_gc_bytes gauge\n")
+	p("go_memstats_next_gc_bytes %d\n", ms.NextGC)
+	p("# HELP go_gc_cycles_total Number of completed GC cycles.\n")
+	p("# TYPE go_gc_cycles_total counter\n")
+	p("go_gc_cycles_total %d\n", ms.NumGC)
+	p("# HELP go_gc_pause_seconds_total Cumulative stop-the-world GC pause time.\n")
+	p("# TYPE go_gc_pause_seconds_total counter\n")
+	p("go_gc_pause_seconds_total %s\n", FormatFloat(float64(ms.PauseTotalNs)/1e9))
+	last := ms.PauseNs[(ms.NumGC+255)%256]
+	if ms.NumGC == 0 {
+		last = 0
+	}
+	p("# HELP go_gc_last_pause_seconds Duration of the most recent GC stop-the-world pause.\n")
+	p("# TYPE go_gc_last_pause_seconds gauge\n")
+	p("go_gc_last_pause_seconds %s\n", FormatFloat(float64(last)/1e9))
 }

@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"encoding/json"
 	"math"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -182,10 +184,36 @@ func TestTraceEventCap(t *testing.T) {
 	if s.Pops != 10 {
 		t.Errorf("pops = %d, want 10 (aggregates ignore the cap)", s.Pops)
 	}
-	if len(s.Events) != 4 || s.Skipped != 6 {
-		t.Errorf("events = %d skipped = %d, want 4 / 6", len(s.Events), s.Skipped)
+	if len(s.Events) != 4 || s.Dropped != 6 {
+		t.Errorf("events = %d dropped = %d, want 4 / 6", len(s.Events), s.Dropped)
 	}
 	if !strings.Contains(s.Render(), "beyond the 4-event cap") {
 		t.Error("Render() does not report skipped events")
+	}
+}
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	tr := NewTrace(0)
+	tr.CacheMiss()
+	tr.Pop(7, 0)
+	tr.Entry(0, "ppo", 7, 0)
+	tr.Probe(0, "ppo", 3, 42*time.Nanosecond)
+	tr.LinkHop(0, 9, 2)
+	tr.Result(0, 8, 1)
+	s := tr.Summary(true)
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got Summary
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Errorf("round trip mismatch:\n %+v\nvs %+v", s, got)
+	}
+	var k EventKind
+	if err := k.UnmarshalJSON([]byte(`"bogus"`)); err == nil {
+		t.Error("unknown kind should not decode")
 	}
 }

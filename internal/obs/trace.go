@@ -63,6 +63,22 @@ func (k EventKind) String() string {
 // MarshalJSON renders the kind as its name.
 func (k EventKind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
 
+// UnmarshalJSON parses the name form emitted by MarshalJSON, so remote
+// clients (flixquery -server) can decode a server's EXPLAIN summary.
+func (k *EventKind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for c := EvPop; c <= EvCacheMiss; c++ {
+		if c.String() == s {
+			*k = c
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown event kind %q", s)
+}
+
 // Event is one span-style record.  T is the monotonic offset from the
 // trace's start (time.Since on the monotonic clock).
 type Event struct {
@@ -108,7 +124,7 @@ type Trace struct {
 
 	mu      sync.Mutex
 	events  []Event
-	skipped int64 // events beyond the limit
+	dropped int64 // events beyond the limit
 
 	pops, entries, dupDrops, linkHops, results int64
 	cacheHit                                   bool
@@ -139,10 +155,11 @@ func NewTrace(eventLimit int) *Trace {
 	}
 }
 
-// record appends an event, enforcing the cap.
+// record appends an event, enforcing the cap.  Dropped events are counted
+// so Summary can report the truncation instead of hiding it.
 func (t *Trace) record(e Event) {
 	if len(t.events) >= t.limit {
-		t.skipped++
+		t.dropped++
 		return
 	}
 	e.T = time.Since(t.start)
@@ -251,7 +268,7 @@ type Summary struct {
 	CacheHit   bool          `json:"cacheHit"`
 	Metas      []MetaVisit   `json:"metas"`
 	Events     []Event       `json:"events,omitempty"`
-	Skipped    int64         `json:"eventsSkipped,omitempty"`
+	Dropped    int64         `json:"eventsDropped,omitempty"`
 	NumEvents  int           `json:"numEvents"`
 }
 
@@ -269,7 +286,7 @@ func (t *Trace) Summary(withEvents bool) Summary {
 		LinkHops:   t.linkHops,
 		Results:    t.results,
 		CacheHit:   t.cacheHit,
-		Skipped:    t.skipped,
+		Dropped:    t.dropped,
 		NumEvents:  len(t.events),
 	}
 	s.Metas = make([]MetaVisit, 0, len(t.metaOrder))
@@ -319,9 +336,9 @@ func (s Summary) Render() string {
 		}
 		b.WriteByte('\n')
 	}
-	if s.Skipped > 0 {
-		fmt.Fprintf(&b, "(%d events beyond the %d-event cap were counted but not stored)\n",
-			s.Skipped, s.NumEvents)
+	if s.Dropped > 0 {
+		fmt.Fprintf(&b, "(%d events dropped beyond the %d-event cap; aggregates stay exact)\n",
+			s.Dropped, s.NumEvents)
 	}
 	return b.String()
 }

@@ -72,6 +72,24 @@ type Evaluator struct {
 	// evaluation into one trace (the //-step descendant scans and the
 	// InverseScore ancestor scans alike).  Nil costs nothing.
 	Tracer *obs.Trace
+	// Stats accumulates the index work of the most recent Evaluate or
+	// EvaluateTopK call.  On the sharded tier every Scan is one
+	// scatter-gather, so the router's cluster trace reconciles its gather
+	// count against these counters.
+	Stats EvalStats
+}
+
+// EvalStats counts one evaluation's backend work.
+type EvalStats struct {
+	// Steps is the number of steps advanced past the anchor.
+	Steps int
+	// Scans is the number of descendant scans issued to the backend
+	// (EvaluateTopK counts only streams the threshold actually opened).
+	Scans int
+	// InverseScans is the number of ancestor scans (InverseScore > 0).
+	InverseScans int
+	// Anchored is the initial frontier size after the first step.
+	Anchored int
 }
 
 func (e *Evaluator) canceled() bool {
@@ -150,6 +168,7 @@ func (e *Evaluator) matchesPred(s Step, n xmlgraph.NodeID) bool {
 // Evaluate runs the query and returns results ranked by descending
 // relevance (ties: shorter path, then node ID).
 func (e *Evaluator) Evaluate(q *Query) []Match {
+	e.Stats = EvalStats{}
 	frontier := e.anchor(q.Steps[0])
 	for _, s := range q.Steps[1:] {
 		if e.canceled() {
@@ -222,11 +241,13 @@ func (e *Evaluator) anchor(s Step) map[xmlgraph.NodeID]Match {
 			}
 		}
 	}
+	e.Stats.Anchored = len(frontier)
 	return frontier
 }
 
 // advance moves the frontier across one step.
 func (e *Evaluator) advance(frontier map[xmlgraph.NodeID]Match, s Step) map[xmlgraph.NodeID]Match {
+	e.Stats.Steps++
 	coll := e.Index.Collection()
 	next := make(map[xmlgraph.NodeID]Match)
 	add := func(n xmlgraph.NodeID, score float64, pathLen int32) {
@@ -254,6 +275,7 @@ func (e *Evaluator) advance(frontier map[xmlgraph.NodeID]Match, s Step) map[xmlg
 				})
 				continue
 			}
+			e.Stats.Scans++
 			opts := flix.Options{MaxDist: e.maxDistFor(base), Cancel: e.Cancel, Tracer: e.Tracer}
 			e.Index.Descendants(m.Node, wt.Tag, opts, func(r flix.Result) bool {
 				score := base
@@ -268,6 +290,7 @@ func (e *Evaluator) advance(frontier map[xmlgraph.NodeID]Match, s Step) map[xmlg
 				if invBase < e.minScore() {
 					continue
 				}
+				e.Stats.InverseScans++
 				invOpts := flix.Options{MaxDist: e.maxDistFor(invBase), Cancel: e.Cancel, Tracer: e.Tracer}
 				e.Index.Ancestors(m.Node, wt.Tag, invOpts, func(r flix.Result) bool {
 					score := invBase

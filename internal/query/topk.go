@@ -29,6 +29,7 @@ func (e *Evaluator) EvaluateTopK(q *Query, k int) []Match {
 	if k <= 0 {
 		return nil
 	}
+	e.Stats = EvalStats{}
 	if len(q.Steps) == 1 {
 		out := e.Evaluate(q)
 		if len(out) > k {
@@ -50,6 +51,7 @@ func (e *Evaluator) EvaluateTopK(q *Query, k int) []Match {
 		final := e.advance(frontier, last)
 		return topOf(final, k)
 	}
+	e.Stats.Steps++ // the streamed last step (advance counts the others)
 
 	// One lazily pulled stream per (frontier element, expansion).
 	var streams []*resultStream
@@ -153,6 +155,7 @@ func (e *Evaluator) newStream(from Match, tag string, base float64) *resultStrea
 func (s *resultStream) next() bool {
 	if !s.fetched {
 		s.fetched = true
+		s.e.Stats.Scans++
 		s.e.Index.Descendants(s.from.Node, s.tag, flix.Options{MaxDist: s.maxDist, Cancel: s.e.Cancel, Tracer: s.e.Tracer},
 			func(r flix.Result) bool {
 				s.buf = append(s.buf, r)

@@ -73,6 +73,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# TYPE flix_inflight_requests gauge\n")
 	p("flix_inflight_requests %d\n", s.InFlight())
 
+	obs.WriteGoRuntimeText(p)
+
 	// Everything below describes the serving generation; before the first
 	// install there is none to describe.
 	if g == nil {

@@ -198,6 +198,29 @@ func TestMetricsExpositionFormat(t *testing.T) {
 	}
 }
 
+// TestMetricsRuntimeGauges checks the Go runtime gauges ride on the flixd
+// /metrics endpoint — and render even before the first index generation.
+func TestMetricsRuntimeGauges(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	e := scrape(t, ts.URL)
+	for series, kind := range map[string]string{
+		"go_goroutines":                "gauge",
+		"go_memstats_heap_alloc_bytes": "gauge",
+		"go_gc_cycles_total":           "counter",
+		"go_gc_pause_seconds_total":    "counter",
+	} {
+		if e.types[series] != kind {
+			t.Errorf("%s declared %q, want %q", series, e.types[series], kind)
+		}
+		if v, ok := e.samples[series]; !ok || v < 0 {
+			t.Errorf("%s = %v (present=%v), want >= 0", series, v, ok)
+		}
+	}
+	if e.samples["go_goroutines"] <= 0 {
+		t.Errorf("go_goroutines = %v, want > 0", e.samples["go_goroutines"])
+	}
+}
+
 // TestMetricsStrategyHistogram checks requests are attributed to the
 // indexing strategy serving the start node's meta document.
 func TestMetricsStrategyHistogram(t *testing.T) {

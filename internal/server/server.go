@@ -161,6 +161,7 @@ type Server struct {
 	reqConnected   atomic.Int64
 	reqQuery       atomic.Int64
 	reqShardEval   atomic.Int64
+	tracedEvals    atomic.Int64
 	shed           atomic.Int64
 	notReady       atomic.Int64
 	timeouts       atomic.Int64

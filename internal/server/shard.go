@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/flix"
+	"repro/internal/obs"
 	"repro/internal/shard"
 )
 
@@ -94,6 +95,15 @@ func (s *Server) handleShardEval(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.MaxTimeout)
 	defer cancel()
 	owned := g.shard.owned
+	// A distributed trace is requested in-body (authoritative) or via the
+	// X-Flix-Trace header; the untraced default keeps the nil-tracer
+	// allocation-free fast path.
+	var tr *obs.Trace
+	if req.Trace || r.Header.Get(shard.TraceHeader) == "1" {
+		s.tracedEvals.Add(1)
+		tr = obs.NewTrace(s.cfg.TraceEventLimit)
+		tr.SetGeneration(g.num)
+	}
 	t0 := time.Now()
 	pr := g.ix.PartialDescendants(req.Entries, req.Tag, flix.PartialOptions{
 		MaxDist: req.MaxDist,
@@ -101,11 +111,12 @@ func (s *Server) handleShardEval(w http.ResponseWriter, r *http.Request) {
 			return mi >= 0 && int(mi) < len(owned) && owned[mi]
 		},
 		Cancel: ctx.Done(),
+		Tracer: tr,
 	})
 	if h := s.latency["shard_eval"]; h != nil {
 		h.Observe(time.Since(t0))
 	}
-	s.ok(w, &shard.EvalResponse{
+	resp := &shard.EvalResponse{
 		Results:     pr.Results,
 		Hops:        pr.Hops,
 		Generation:  g.num,
@@ -114,7 +125,11 @@ func (s *Server) handleShardEval(w http.ResponseWriter, r *http.Request) {
 		Pops:        pr.Pops,
 		Entries:     pr.Entries,
 		LinkHops:    pr.LinkHops,
-	})
+	}
+	if tr != nil {
+		resp.Trace = obs.NewFragment(s.cfg.Shard.ID, tr.Summary(false))
+	}
+	s.ok(w, resp)
 }
 
 // handleShardLinks answers GET /v1/shard/links: the topology export the
@@ -159,6 +174,7 @@ func (s *Server) shardStatsz(g *generation) map[string]any {
 		"totalMetas":  g.ix.NumMetaDocuments(),
 		"fingerprint": g.shard.fingerprint,
 		"evals":       s.reqShardEval.Load(),
+		"tracedEvals": s.tracedEvals.Load(),
 	}
 	if sn := s.latency["shard_eval"].Snapshot(); sn.Count > 0 {
 		out["evalLatency"] = map[string]any{

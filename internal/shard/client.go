@@ -96,6 +96,9 @@ func (c *Client) Eval(ctx context.Context, shard int, reqID string, req *EvalReq
 		if reqID != "" {
 			r.Header.Set(RequestIDHeader, reqID)
 		}
+		if req.Trace {
+			r.Header.Set(TraceHeader, "1")
+		}
 		return r, nil
 	}, &out)
 	if err != nil {

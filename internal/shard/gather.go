@@ -2,10 +2,12 @@ package shard
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"time"
 
 	"repro/internal/flix"
+	"repro/internal/obs"
 	"repro/internal/xmlgraph"
 )
 
@@ -21,6 +23,18 @@ import (
 // minima, the merged stream carries exact global shortest distances — the
 // differential harness checks it element-for-element against the BFS
 // oracle.
+
+// shardOut carries one shard RPC's outcome from its dispatch goroutine to
+// the gather loop's receive goroutine.  The RPC timings ride along so the
+// trace builder (single-goroutine, on the receive side) can build dispatch
+// spans without any locking.
+type shardOut struct {
+	sh       int
+	resp     *EvalResponse
+	err      error
+	rpcStart time.Time
+	rpcDur   time.Duration
+}
 
 // gatherOut is one scatter-gather evaluation's outcome.
 type gatherOut struct {
@@ -40,14 +54,14 @@ type gatherOut struct {
 // gatherDescendants runs start//tag across the cluster and applies the
 // single-node self policy: the start node is reported only under
 // includeSelf (at distance 0), never as its own cycle-descendant.
-func (rt *Router) gatherDescendants(ctx context.Context, reqID string, start xmlgraph.NodeID, tag string, maxDist int32, needK int, includeSelf bool) gatherOut {
+func (rt *Router) gatherDescendants(ctx context.Context, reqID string, start xmlgraph.NodeID, tag string, maxDist int32, needK int, includeSelf bool, tb *traceBuilder) gatherOut {
 	if needK > 0 && !includeSelf {
 		// The merged stream may contain start (dist 0, dropped below);
 		// widen the early-stop target so dropping it still leaves needK.
 		// needK == 0 means unbounded and must stay 0 (no early stop).
 		needK++
 	}
-	g := rt.gather(ctx, reqID, []flix.FrontierEntry{{Node: start, Dist: 0}}, tag, maxDist, needK, xmlgraph.InvalidNode)
+	g := rt.gather(ctx, reqID, []flix.FrontierEntry{{Node: start, Dist: 0}}, tag, maxDist, needK, xmlgraph.InvalidNode, tb)
 	if !includeSelf {
 		for i, e := range g.results {
 			if e.Node == start {
@@ -64,12 +78,22 @@ func (rt *Router) gatherDescendants(ctx context.Context, reqID string, start xml
 // no later round can displace them); target != InvalidNode enables the
 // connectivity early stop (the target's distance is final once it is at or
 // below the watermark).  Early stops are exact, not partial.
-func (rt *Router) gather(ctx context.Context, reqID string, starts []flix.FrontierEntry, tag string, maxDist int32, needK int, target xmlgraph.NodeID) gatherOut {
+//
+// tb, when non-nil, makes this a traced gather: every shard RPC carries
+// the trace flag, fragments come back in the responses, and the builder
+// grows a per-round span tree.  A nil tb is the default and adds no work
+// to the loop beyond the pointer checks.
+func (rt *Router) gather(ctx context.Context, reqID string, starts []flix.FrontierEntry, tag string, maxDist int32, needK int, target xmlgraph.NodeID, tb *traceBuilder) gatherOut {
 	topo := rt.topo.Load()
 	var out gatherOut
 	if topo == nil {
 		out.partial = true
 		return out
+	}
+	var gspan *obs.Span
+	if tb != nil {
+		gspan = tb.beginGather(fmt.Sprintf("tag=%s starts=%d", tag, len(starts)))
+		defer func() { tb.end(gspan) }()
 	}
 	nShards := len(rt.shards)
 	// best is the lazy-deletion Dijkstra map: smallest distance at which
@@ -87,6 +111,9 @@ func (rt *Router) gather(ctx context.Context, reqID string, starts []flix.Fronti
 		}
 		if d, ok := best[e.Node]; ok && d <= e.Dist {
 			rt.hopsDeduped.Add(1)
+			if tb != nil {
+				tb.hopsDeduped++
+			}
 			return
 		}
 		best[e.Node] = e.Dist
@@ -138,10 +165,14 @@ func (rt *Router) gather(ctx context.Context, reqID string, starts []flix.Fronti
 		}
 
 		out.rounds++
-		type shardOut struct {
-			sh   int
-			resp *EvalResponse
-			err  error
+		var rspan *obs.Span
+		sent := make(map[int]int, active)
+		if tb != nil {
+			tb.rounds++
+			rspan = tb.child(gspan, "round")
+			rspan.SetAttr("round", int64(out.rounds))
+			rspan.SetAttr("shards", int64(active))
+			rspan.SetAttr("watermark", int64(watermark))
 		}
 		outs := make(chan shardOut, active)
 		for sh, b := range batches {
@@ -149,18 +180,31 @@ func (rt *Router) gather(ctx context.Context, reqID string, starts []flix.Fronti
 				continue
 			}
 			out.fanouts++
+			if tb != nil {
+				tb.fanouts++
+				sent[sh] = len(b)
+			}
 			go func(sh int, entries []flix.FrontierEntry) {
 				t0 := time.Now()
-				resp, err := rt.client.Eval(ctx, sh, reqID, &EvalRequest{Entries: entries, Tag: tag, MaxDist: maxDist})
-				rt.shardLatency[sh].Observe(time.Since(t0))
-				outs <- shardOut{sh: sh, resp: resp, err: err}
+				resp, err := rt.client.Eval(ctx, sh, reqID, &EvalRequest{Entries: entries, Tag: tag, MaxDist: maxDist, Trace: tb != nil})
+				d := time.Since(t0)
+				rt.shardLatency[sh].Observe(d)
+				rt.shards[sh].rpcs.Add(1)
+				if err != nil {
+					rt.shards[sh].rpcErrors.Add(1)
+				}
+				outs <- shardOut{sh: sh, resp: resp, err: err, rpcStart: t0, rpcDur: d}
 			}(sh, b)
 		}
 		// The dispatch goroutines hold the old batch slices; from here on
 		// batches accumulates the next round's frontier.
 		batches = make([][]flix.FrontierEntry, nShards)
+		var redispatched, deduped int64
 		for i := 0; i < active; i++ {
 			o := <-outs
+			if tb != nil {
+				tb.dispatch(rspan, o, sent[o.sh])
+			}
 			if o.err != nil {
 				failed[o.sh] = true
 				out.partial = true
@@ -192,11 +236,15 @@ func (rt *Router) gather(ctx context.Context, reqID string, starts []flix.Fronti
 			}
 			for _, hp := range o.resp.Hops {
 				rt.hops.Add(1)
+				if tb != nil {
+					tb.hopsSeen++
+				}
 				if hp.Dist < 0 || (maxDist > 0 && hp.Dist > maxDist) {
 					continue
 				}
 				if d, ok := best[hp.Node]; ok && d <= hp.Dist {
 					rt.hopsDeduped.Add(1)
+					deduped++
 					continue
 				}
 				if rt.cfg.HopBudget > 0 && dispatched >= rt.cfg.HopBudget {
@@ -205,23 +253,42 @@ func (rt *Router) gather(ctx context.Context, reqID string, starts []flix.Fronti
 				}
 				best[hp.Node] = hp.Dist
 				dispatched++
+				redispatched++
 				ow := rt.ring.Owner(topo.metaOf[hp.Node])
 				batches[ow] = append(batches[ow], hp)
 			}
+		}
+		if tb != nil {
+			// The re-dispatch decision summary for this round: how many
+			// returned hops advanced the frontier vs. fell to dedup.
+			tb.hopsRedispatched += redispatched
+			tb.hopsDeduped += deduped
+			rspan.SetAttr("redispatched", redispatched)
+			rspan.SetAttr("deduped", deduped)
+			tb.end(rspan)
 		}
 	}
 
 	if budgetHit {
 		out.partial = true
 		rt.budgetStops.Add(1)
+		if tb != nil {
+			tb.budgetExhausted = true
+		}
 	}
 	out.hopsDispatched = dispatched
 	out.results = sortEntries(resultMin)
 	out.failed = sortedShardIDs(failed)
+	rt.gathers.Add(1)
 	rt.rounds.Add(int64(out.rounds))
 	rt.fanouts.Add(int64(out.fanouts))
+	rt.hopsRedispatched.Add(int64(dispatched))
 	if out.partial {
 		rt.partials.Add(1)
+	}
+	if gspan != nil {
+		gspan.SetAttr("rounds", int64(out.rounds))
+		gspan.SetAttr("results", int64(len(out.results)))
 	}
 	return out
 }
@@ -276,6 +343,7 @@ type routerBackend struct {
 	rt        *Router
 	ctx       context.Context
 	reqID     string
+	tb        *traceBuilder // non-nil for ?trace=1 ranked queries
 	partial   bool
 	failedSet map[int]bool
 	failed    []int
@@ -284,7 +352,7 @@ type routerBackend struct {
 func (b *routerBackend) Collection() *xmlgraph.Collection { return b.rt.coll }
 
 func (b *routerBackend) Descendants(start xmlgraph.NodeID, tag string, opts flix.Options, fn flix.Emit) {
-	g := b.rt.gatherDescendants(b.ctx, b.reqID, start, tag, opts.MaxDist, opts.MaxResults, opts.IncludeSelf)
+	g := b.rt.gatherDescendants(b.ctx, b.reqID, start, tag, opts.MaxDist, opts.MaxResults, opts.IncludeSelf, b.tb)
 	b.merge(g)
 	emitted := 0
 	for _, e := range g.results {

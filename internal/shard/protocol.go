@@ -1,6 +1,9 @@
 package shard
 
-import "repro/internal/flix"
+import (
+	"repro/internal/flix"
+	"repro/internal/obs"
+)
 
 // This file defines the wire protocol between the router and the shards.
 // Both sides import it (internal/server implements the shard endpoints), so
@@ -15,6 +18,12 @@ const RequestIDHeader = "X-Flix-Request-Id"
 // batches were dropped after retries; it accompanies a partial response.
 const FailedShardsHeader = "X-Flix-Shards-Failed"
 
+// TraceHeader ("1" when set) asks a shard to evaluate under a bounded
+// obs.Trace and return a TraceFragment in the response.  It travels beside
+// RequestIDHeader so intermediaries can sample traces without parsing
+// bodies; EvalRequest.Trace is the authoritative in-body copy.
+const TraceHeader = "X-Flix-Trace"
+
 // EvalRequest is the body of POST /v1/shard/eval: one batch of frontier
 // entries to expand within the shard's owned meta documents.
 type EvalRequest struct {
@@ -24,6 +33,10 @@ type EvalRequest struct {
 	Tag string `json:"tag"`
 	// MaxDist prunes paths longer than this many edges (0 = unlimited).
 	MaxDist int32 `json:"maxDist,omitempty"`
+	// Trace asks the shard to evaluate under a bounded obs.Trace and
+	// attach a TraceFragment to the response.  The untraced path is the
+	// default and stays allocation-free on the shard.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // EvalResponse is the shard's answer: local matches plus the frontier
@@ -47,6 +60,9 @@ type EvalResponse struct {
 	Pops     int64 `json:"pops"`
 	Entries  int64 `json:"entries"`
 	LinkHops int64 `json:"linkHops"`
+	// Trace is the shard's distributed-trace fragment, present only when
+	// EvalRequest.Trace (or the X-Flix-Trace header) asked for one.
+	Trace *obs.TraceFragment `json:"trace,omitempty"`
 }
 
 // LinksResponse is the body of GET /v1/shard/links: the shard's view of the

@@ -115,6 +115,8 @@ type shardState struct {
 	consecFails atomic.Int64
 	probes      atomic.Int64
 	probeFails  atomic.Int64
+	rpcs        atomic.Int64
+	rpcErrors   atomic.Int64
 	lastErr     atomic.Pointer[string]
 	fingerprint atomic.Pointer[string]
 }
@@ -159,14 +161,17 @@ type Router struct {
 	timeouts       atomic.Int64
 	clientErrors   atomic.Int64
 
-	fanouts       atomic.Int64
-	rounds        atomic.Int64
-	hops          atomic.Int64
-	hopsDeduped   atomic.Int64
-	budgetStops   atomic.Int64
-	earlyStops    atomic.Int64
-	partials      atomic.Int64
-	shardFailures atomic.Int64
+	fanouts          atomic.Int64
+	gathers          atomic.Int64
+	rounds           atomic.Int64
+	hops             atomic.Int64
+	hopsDeduped      atomic.Int64
+	hopsRedispatched atomic.Int64
+	budgetStops      atomic.Int64
+	earlyStops       atomic.Int64
+	partials         atomic.Int64
+	shardFailures    atomic.Int64
+	tracedQueries    atomic.Int64
 }
 
 // NewRouter builds a router over the collection the shards serve.  Call
@@ -531,7 +536,8 @@ func (rt *Router) handleDescendants(w http.ResponseWriter, r *http.Request, ctx 
 		return
 	}
 	includeSelf := boolParam(q.Get("self"))
-	g := rt.gatherDescendants(ctx, requestIDFrom(ctx), start, q.Get("tag"), int32(maxDist), k, includeSelf)
+	tb := rt.traceFor(r, ctx, "descendants")
+	g := rt.gatherDescendants(ctx, requestIDFrom(ctx), start, q.Get("tag"), int32(maxDist), k, includeSelf, tb)
 	timedOut := expired(ctx)
 	if timedOut {
 		rt.timeouts.Add(1)
@@ -544,14 +550,29 @@ func (rt *Router) handleDescendants(w http.ResponseWriter, r *http.Request, ctx 
 		results = append(results, rt.nodeJSON(e.Node, e.Dist))
 	}
 	rt.setPartialHeader(w, g)
-	rt.ok(w, map[string]any{
+	resp := map[string]any{
 		"results":      results,
 		"count":        len(results),
 		"timedOut":     timedOut,
 		"partial":      g.partial,
 		"failedShards": g.failed,
 		"rounds":       g.rounds,
-	})
+	}
+	if tb != nil {
+		resp["trace"] = tb.finish(int64(len(results)), g.partial, g.failed)
+	}
+	rt.ok(w, resp)
+}
+
+// traceFor starts a cluster trace when the request asked for one with
+// ?trace=1.  nil (the common case) keeps the gather loop on its untraced
+// path.
+func (rt *Router) traceFor(r *http.Request, ctx context.Context, endpoint string) *traceBuilder {
+	if !boolParam(r.URL.Query().Get("trace")) {
+		return nil
+	}
+	rt.tracedQueries.Add(1)
+	return newTraceBuilder(requestIDFrom(ctx), endpoint, len(rt.shards))
 }
 
 // handleConnected answers GET /v1/connected by gathering start//tag(to)
@@ -573,6 +594,7 @@ func (rt *Router) handleConnected(w http.ResponseWriter, r *http.Request, ctx co
 		rt.fail(w, http.StatusBadRequest, "bad maxdist: "+err.Error())
 		return
 	}
+	tb := rt.traceFor(r, ctx, "connected")
 	var (
 		dist int32
 		ok   bool
@@ -582,7 +604,7 @@ func (rt *Router) handleConnected(w http.ResponseWriter, r *http.Request, ctx co
 		dist, ok = 0, true
 	} else {
 		g = rt.gather(ctx, requestIDFrom(ctx), []flix.FrontierEntry{{Node: from, Dist: 0}},
-			rt.coll.Tag(to), int32(maxDist), 0, to)
+			rt.coll.Tag(to), int32(maxDist), 0, to, tb)
 		for _, e := range g.results {
 			if e.Node == to {
 				dist, ok = e.Dist, true
@@ -598,6 +620,13 @@ func (rt *Router) handleConnected(w http.ResponseWriter, r *http.Request, ctx co
 	resp := map[string]any{"connected": ok, "timedOut": timedOut, "partial": g.partial, "failedShards": g.failed}
 	if ok {
 		resp["dist"] = dist
+	}
+	if tb != nil {
+		var n int64
+		if ok {
+			n = 1
+		}
+		resp["trace"] = tb.finish(n, g.partial, g.failed)
 	}
 	rt.ok(w, resp)
 }
@@ -620,7 +649,8 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request, ctx contex
 		rt.fail(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	be := &routerBackend{rt: rt, ctx: ctx, reqID: requestIDFrom(ctx)}
+	tb := rt.traceFor(r, ctx, "query")
+	be := &routerBackend{rt: rt, ctx: ctx, reqID: requestIDFrom(ctx), tb: tb}
 	eval := &query.Evaluator{
 		Index:      be,
 		Ontology:   rt.onto,
@@ -646,13 +676,22 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request, ctx contex
 		})
 	}
 	rt.setPartialHeader(w, gatherOut{partial: be.partial, failed: be.failed})
-	rt.ok(w, map[string]any{
+	resp := map[string]any{
 		"results":      out,
 		"count":        len(out),
 		"timedOut":     timedOut,
 		"partial":      be.partial,
 		"failedShards": be.failed,
-	})
+	}
+	if tb != nil {
+		// The ranked evaluator's own work shape rides on the root span;
+		// each //-step scan is one gather child beneath it.
+		tb.root.SetAttr("steps", int64(eval.Stats.Steps))
+		tb.root.SetAttr("scans", int64(eval.Stats.Scans))
+		tb.root.SetAttr("anchored", int64(eval.Stats.Anchored))
+		resp["trace"] = tb.finish(int64(len(out)), be.partial, be.failed)
+	}
+	rt.ok(w, resp)
 }
 
 // setPartialHeader attaches X-Flix-Shards-Failed when shards dropped out of

@@ -89,6 +89,8 @@ func (rt *Router) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			"probes":      st.probes.Load(),
 			"probeFails":  st.probeFails.Load(),
 			"consecFails": st.consecFails.Load(),
+			"rpcs":        st.rpcs.Load(),
+			"rpcErrors":   st.rpcErrors.Load(),
 			"rpcCount":    sn.Count,
 			"rpcP50":      durString(sn.Quantile(0.50)),
 			"rpcP99":      durString(sn.Quantile(0.99)),
@@ -113,15 +115,19 @@ func (rt *Router) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			"maxInFlight":  cap(rt.sem),
 		},
 		"scatter": map[string]any{
-			"fanouts":       rt.fanouts.Load(),
-			"rounds":        rt.rounds.Load(),
-			"hops":          rt.hops.Load(),
-			"hopsDeduped":   rt.hopsDeduped.Load(),
-			"earlyStops":    rt.earlyStops.Load(),
-			"budgetStops":   rt.budgetStops.Load(),
-			"partials":      rt.partials.Load(),
-			"shardFailures": rt.shardFailures.Load(),
-			"hopBudget":     rt.cfg.HopBudget,
+			"fanouts":          rt.fanouts.Load(),
+			"gathers":          rt.gathers.Load(),
+			"rounds":           rt.rounds.Load(),
+			"roundsPerGather":  ratio(rt.rounds.Load(), rt.gathers.Load()),
+			"hops":             rt.hops.Load(),
+			"hopsDeduped":      rt.hopsDeduped.Load(),
+			"hopsRedispatched": rt.hopsRedispatched.Load(),
+			"earlyStops":       rt.earlyStops.Load(),
+			"budgetStops":      rt.budgetStops.Load(),
+			"partials":         rt.partials.Load(),
+			"shardFailures":    rt.shardFailures.Load(),
+			"hopBudget":        rt.cfg.HopBudget,
+			"tracedQueries":    rt.tracedQueries.Load(),
 		},
 		"latency":     latency,
 		"shardStates": shards,
@@ -130,6 +136,14 @@ func (rt *Router) handleStatsz(w http.ResponseWriter, r *http.Request) {
 
 func durString(d time.Duration) string {
 	return d.Round(time.Microsecond).String()
+}
+
+// ratio guards the rounds-per-gather division against a fresh router.
+func ratio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
 }
 
 // handleMetrics renders the router counters in the Prometheus text format,
@@ -173,15 +187,24 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# HELP flix_router_fanouts_total Shard RPC batches dispatched.\n")
 	p("# TYPE flix_router_fanouts_total counter\n")
 	p("flix_router_fanouts_total %d\n", rt.fanouts.Load())
+	p("# HELP flix_router_gathers_total Scatter-gather evaluations executed.\n")
+	p("# TYPE flix_router_gathers_total counter\n")
+	p("flix_router_gathers_total %d\n", rt.gathers.Load())
 	p("# HELP flix_router_rounds_total Scatter-gather rounds executed.\n")
 	p("# TYPE flix_router_rounds_total counter\n")
 	p("flix_router_rounds_total %d\n", rt.rounds.Load())
+	p("# HELP flix_router_rounds_per_gather Mean re-dispatch rounds per gather since start.\n")
+	p("# TYPE flix_router_rounds_per_gather gauge\n")
+	p("flix_router_rounds_per_gather %s\n", obs.FormatFloat(ratio(rt.rounds.Load(), rt.gathers.Load())))
 	p("# HELP flix_router_hops_total Cross-shard hop entries returned by shards.\n")
 	p("# TYPE flix_router_hops_total counter\n")
 	p("flix_router_hops_total %d\n", rt.hops.Load())
 	p("# HELP flix_router_hops_deduped_total Hop entries dropped by the best-distance map.\n")
 	p("# TYPE flix_router_hops_deduped_total counter\n")
 	p("flix_router_hops_deduped_total %d\n", rt.hopsDeduped.Load())
+	p("# HELP flix_router_hops_redispatched_total Hop entries re-dispatched to their owning shard.\n")
+	p("# TYPE flix_router_hops_redispatched_total counter\n")
+	p("flix_router_hops_redispatched_total %d\n", rt.hopsRedispatched.Load())
 	p("# HELP flix_router_early_stops_total Gathers ended by the top-k or connectivity watermark.\n")
 	p("# TYPE flix_router_early_stops_total counter\n")
 	p("flix_router_early_stops_total %d\n", rt.earlyStops.Load())
@@ -194,6 +217,9 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# HELP flix_router_shard_failures_total Shard batches dropped after retries.\n")
 	p("# TYPE flix_router_shard_failures_total counter\n")
 	p("flix_router_shard_failures_total %d\n", rt.shardFailures.Load())
+	p("# HELP flix_router_traced_queries_total Queries evaluated with ?trace=1 distributed tracing.\n")
+	p("# TYPE flix_router_traced_queries_total counter\n")
+	p("flix_router_traced_queries_total %d\n", rt.tracedQueries.Load())
 
 	p("# HELP flix_router_request_duration_seconds Query latency by endpoint.\n")
 	p("# TYPE flix_router_request_duration_seconds histogram\n")
@@ -204,6 +230,16 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# TYPE flix_router_shard_rpc_duration_seconds histogram\n")
 	for i := range rt.shards {
 		writeHistogram(p, "flix_router_shard_rpc_duration_seconds", "shard", fmt.Sprintf("%d", i), rt.shardLatency[i].Snapshot())
+	}
+	p("# HELP flix_router_shard_rpcs_total Eval RPCs dispatched, by shard.\n")
+	p("# TYPE flix_router_shard_rpcs_total counter\n")
+	for i, st := range rt.shards {
+		p("flix_router_shard_rpcs_total{shard=\"%d\"} %d\n", i, st.rpcs.Load())
+	}
+	p("# HELP flix_router_shard_rpc_errors_total Eval RPCs that failed after retries, by shard.\n")
+	p("# TYPE flix_router_shard_rpc_errors_total counter\n")
+	for i, st := range rt.shards {
+		p("flix_router_shard_rpc_errors_total{shard=\"%d\"} %d\n", i, st.rpcErrors.Load())
 	}
 	p("# HELP flix_router_shard_ready Per-shard readiness.\n")
 	p("# TYPE flix_router_shard_ready gauge\n")
@@ -217,6 +253,8 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# HELP flix_router_inflight_requests Queries currently evaluating.\n")
 	p("# TYPE flix_router_inflight_requests gauge\n")
 	p("flix_router_inflight_requests %d\n", len(rt.sem))
+
+	obs.WriteGoRuntimeText(p)
 }
 
 // writeHistogram aliases the exposition helper shared with the single-node

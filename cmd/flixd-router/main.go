@@ -19,6 +19,7 @@
 //	GET /v1/descendants?start=<doc|node>&tag=<tag>[&k=][&maxdist=][&self=1][&trace=1]
 //	GET /v1/connected?from=<doc|node>&to=<doc|node>[&maxdist=][&trace=1]
 //	GET /v1/query?q=<expr>[&k=][&trace=1]
+//	POST /v1/batch             {"queries": [...]} (many queries, one deadline)
 //	GET /healthz · /statsz · /metrics
 //
 // ?trace=1 runs the query under distributed tracing: every shard RPC
@@ -64,6 +65,7 @@ func main() {
 		maxTO     = flag.Duration("max-timeout", 30*time.Second, "upper clamp on client-requested deadlines")
 		limit     = flag.Int("limit", 100, "default result limit per request")
 		maxLimit  = flag.Int("max-limit", 10000, "upper clamp on client-requested result limits")
+		maxBatch  = flag.Int("batch-max", 256, "queries allowed in one POST /v1/batch request")
 		shardTO   = flag.Duration("shard-timeout", 10*time.Second, "per-attempt deadline for shard RPCs")
 		retries   = flag.Int("retries", 2, "shard RPC re-attempts after a transient failure")
 		probe     = flag.Duration("probe-interval", time.Second, "shard health-probe cadence")
@@ -107,6 +109,7 @@ func main() {
 		MaxTimeout:     *maxTO,
 		DefaultLimit:   *limit,
 		MaxLimit:       *maxLimit,
+		MaxBatch:       *maxBatch,
 		ShardTimeout:   *shardTO,
 		Retries:        *retries,
 		ProbeInterval:  *probe,

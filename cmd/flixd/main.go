@@ -16,6 +16,7 @@
 //	GET  /v1/descendants?start=<doc|node>&tag=<tag>[&k=][&maxdist=][&timeout=]
 //	GET  /v1/connected?from=<doc|node>&to=<doc|node>[&maxdist=]
 //	GET  /v1/query?q=<expr>[&k=]
+//	POST /v1/batch             {"queries": [{"q": ...} | {"start": ..., "tag": ...}, ...]}
 //	POST /v1/admin/reindex[?dry=1][&force=1]
 //	GET  /healthz · /statsz · /metrics
 //
@@ -71,6 +72,7 @@ func main() {
 		maxTO    = flag.Duration("max-timeout", 30*time.Second, "upper clamp on client-requested deadlines")
 		limit    = flag.Int("limit", 100, "default result limit per request")
 		maxLimit = flag.Int("max-limit", 10000, "upper clamp on client-requested result limits")
+		maxBatch = flag.Int("batch-max", 256, "queries allowed in one POST /v1/batch request")
 		cacheSz  = flag.Int("cache", 1024, "query-cache capacity (0 disables)")
 		drain    = flag.Duration("drain", 15*time.Second, "shutdown grace period for in-flight queries")
 		quiet    = flag.Bool("quiet", false, "disable per-request access logging")
@@ -128,6 +130,7 @@ func main() {
 		MaxTimeout:         *maxTO,
 		DefaultLimit:       *limit,
 		MaxLimit:           *maxLimit,
+		MaxBatch:           *maxBatch,
 		CacheSize:          *cacheSz, // 0 from the flag means disabled
 		SlowQueryThreshold: *slowQ,
 		SlowQuerySample:    *slowN,

@@ -248,6 +248,18 @@ func (c *QueryCache) Warm(keys []HotKey, cancel <-chan struct{}) int {
 	return warmed
 }
 
+// Contains reports whether a complete stream for (start, tag) is cached,
+// without promoting the entry in the LRU or counting a hit or miss.  Batch
+// handlers use it to order work — answer cached queries first — before the
+// real lookups happen; a peek must therefore leave every counter and the
+// eviction order exactly as it found them.
+func (c *QueryCache) Contains(start xmlgraph.NodeID, tag string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.byK[cacheKey{start: start, tag: tag}]
+	return ok
+}
+
 // Counts returns the number of cache hits and misses so far.
 func (c *QueryCache) Counts() (hits, misses int64) {
 	c.mu.Lock()

@@ -1,0 +1,110 @@
+package flix_test
+
+// Differential tests for the resumable banded Probe: drained band by band,
+// it must reproduce the full Descendants result set element for element, in
+// exact (dist, node) order, with the band boundary honored — after Next(b)
+// every unseen result is farther than b.
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/flix"
+	"repro/internal/testutil"
+	"repro/internal/xmlgraph"
+)
+
+// descendantsSorted collects the full Descendants result set in (dist, node)
+// order — the oracle the banded probe must reproduce.
+func descendantsSorted(ix *flix.Index, start xmlgraph.NodeID, tag string, opts flix.Options) []flix.Result {
+	var out []flix.Result
+	ix.Descendants(start, tag, opts, func(r flix.Result) bool {
+		out = append(out, r)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// drainProbe pulls a probe dry on the exponential band schedule, checking
+// that every emission of band b has Dist <= b.
+func drainProbe(t *testing.T, ix *flix.Index, start xmlgraph.NodeID, tag string, opts flix.Options, p *flix.Probe) []flix.Result {
+	t.Helper()
+	ix.StartProbe(p, start, tag, opts)
+	var out []flix.Result
+	band := int32(0)
+	for {
+		band = flix.NextBand(band, opts.MaxDist)
+		more := p.Next(band, func(r flix.Result) bool {
+			if r.Dist > band {
+				t.Fatalf("band %d emitted dist %d", band, r.Dist)
+			}
+			out = append(out, r)
+			return true
+		})
+		if !more {
+			break
+		}
+		if opts.MaxDist > 0 && band >= opts.MaxDist {
+			t.Fatalf("probe did not finish at the MaxDist band %d", band)
+		}
+	}
+	if p.Truncated() {
+		t.Fatal("unexpected truncation")
+	}
+	p.Close()
+	return out
+}
+
+func TestProbeMatchesDescendants(t *testing.T) {
+	tags := []string{"", "a", "b", "e"}
+	for _, family := range testutil.Families() {
+		for seed := int64(1); seed <= 3; seed++ {
+			coll := testutil.Generate(family, seed, 8, 30, 16)
+			ix, err := flix.Build(coll, flix.Config{Kind: flix.Hybrid, PartitionSize: 40})
+			if err != nil {
+				t.Fatalf("%s/%d: %v", family, seed, err)
+			}
+			var p flix.Probe
+			for _, tag := range tags {
+				for _, maxDist := range []int32{0, 3} {
+					opts := flix.Options{MaxDist: maxDist, IncludeSelf: maxDist == 0}
+					for start := xmlgraph.NodeID(0); int(start) < coll.NumNodes(); start += 7 {
+						want := descendantsSorted(ix, start, tag, opts)
+						got := drainProbe(t, ix, start, tag, opts, &p)
+						if fmt.Sprint(got) != fmt.Sprint(want) {
+							t.Fatalf("%s/%d start=%d tag=%q maxdist=%d:\n got %v\nwant %v",
+								family, seed, start, tag, maxDist, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestProbeCancel checks the truncation contract: a cancelled probe reports
+// Truncated and stops pulling frontier work.
+func TestProbeCancel(t *testing.T) {
+	coll := testutil.Generate(testutil.Linked, 1, 8, 30, 16)
+	ix, err := flix.Build(coll, flix.Config{Kind: flix.Hybrid, PartitionSize: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	close(done)
+	var p flix.Probe
+	ix.StartProbe(&p, 0, "", flix.Options{Cancel: done})
+	for p.Next(1<<20, func(flix.Result) bool { return true }) {
+	}
+	if !p.Truncated() {
+		t.Fatal("cancelled probe not marked truncated")
+	}
+	p.Close()
+}

@@ -90,6 +90,12 @@ type EvalStats struct {
 	InverseScans int
 	// Anchored is the initial frontier size after the first step.
 	Anchored int
+	// Truncated reports that cancellation stopped the evaluation before it
+	// examined everything it needed: the returned matches are then a sound
+	// but possibly incomplete subset of the full answer, indistinguishable
+	// from a complete one by shape alone.  It may be conservatively set
+	// when the cancel races the completion of the final scan.
+	Truncated bool
 }
 
 func (e *Evaluator) canceled() bool {
@@ -172,6 +178,7 @@ func (e *Evaluator) Evaluate(q *Query) []Match {
 	frontier := e.anchor(q.Steps[0])
 	for _, s := range q.Steps[1:] {
 		if e.canceled() {
+			e.Stats.Truncated = true
 			break
 		}
 		frontier = e.advance(frontier, s)
@@ -254,13 +261,19 @@ func (e *Evaluator) advance(frontier map[xmlgraph.NodeID]Match, s Step) map[xmlg
 		if score < e.minScore() || !e.matchesPred(s, n) {
 			return
 		}
-		if old, ok := next[n]; !ok || score > old.Score {
+		// Per node, the winner is the maximum score with ties broken by the
+		// shorter path.  The tie-break makes the full ranking deterministic
+		// (sortMatches orders by score, path length, node), so EvaluateTopK
+		// can promise exact element-for-element prefixes of it.
+		if old, ok := next[n]; !ok || score > old.Score ||
+			(score == old.Score && pathLen < old.PathLen) {
 			next[n] = Match{Node: n, Score: score, PathLen: pathLen}
 		}
 	}
 	for _, wt := range e.expansions(s) {
 		for _, m := range frontier {
 			if e.canceled() {
+				e.Stats.Truncated = true
 				return next
 			}
 			base := m.Score * wt.Score
@@ -302,6 +315,12 @@ func (e *Evaluator) advance(frontier map[xmlgraph.NodeID]Match, s Step) map[xmlg
 				})
 			}
 		}
+	}
+	if e.canceled() {
+		// The Cancel channel is threaded into every scan, so a cancel may
+		// have cut the final scan short with no later loop iteration left
+		// to notice it.
+		e.Stats.Truncated = true
 	}
 	return next
 }

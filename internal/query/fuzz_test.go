@@ -43,6 +43,59 @@ func FuzzEvaluate(f *testing.F) {
 	})
 }
 
+// FuzzEvaluateTopK cross-checks the optimized top-k evaluator against the
+// frozen reference evaluator for every accepted query string and k: the
+// answer must be exactly the first min(k, n) elements of the reference's
+// full deterministic ranking, and an uncancelled run must never report
+// truncation.
+func FuzzEvaluateTopK(f *testing.F) {
+	for _, seed := range []string{
+		"//movie//actor",
+		"//~movie//~actor",
+		`//movie[text~"Matrix"]//actor`,
+		"/movie/cast/actor",
+		"//*", "//x//y//z", "a",
+		"//movie", "//cast//*",
+	} {
+		f.Add(seed, 1)
+		f.Add(seed, 10)
+		f.Add(seed, 1000)
+	}
+	e, _ := buildEval(f)
+	f.Fuzz(func(t *testing.T, expr string, k int) {
+		q, err := Parse(expr)
+		if err != nil {
+			return
+		}
+		if k < 0 {
+			k = -k
+		}
+		k %= 2000
+		got := e.EvaluateTopK(q, k)
+		full := e.ReferenceEvaluate(q)
+		want := full
+		if len(want) > k {
+			want = want[:k]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("EvaluateTopK(%q, %d) returned %d matches, reference prefix has %d",
+				expr, k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("EvaluateTopK(%q, %d) result %d = %+v, reference %+v",
+					expr, k, i, got[i], want[i])
+			}
+		}
+		// e.Stats now holds the reference run's stats; re-run the optimized
+		// path last so the truncation check reads its flag.
+		e.EvaluateTopK(q, k)
+		if e.Stats.Truncated {
+			t.Fatalf("EvaluateTopK(%q, %d) reported truncation without a cancel", expr, k)
+		}
+	})
+}
+
 // FuzzParse checks that the parser never panics and that every accepted
 // expression round-trips through String.
 func FuzzParse(f *testing.F) {

@@ -1,0 +1,223 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/shard"
+)
+
+// postBatch posts a BatchRequest (query is the optional URL query string)
+// and decodes the BatchResponse, failing on any other status than
+// wantStatus.
+func postBatch(t *testing.T, base, query string, req shard.BatchRequest, wantStatus int) shard.BatchResponse {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := base + "/v1/batch"
+	if query != "" {
+		url += "?" + query
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /v1/batch: status %d, want %d (body %s)", resp.StatusCode, wantStatus, b)
+	}
+	var out shard.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("POST /v1/batch: bad JSON: %v", err)
+	}
+	return out
+}
+
+// TestBatchEndpoint covers the mixed batch: a cached descendants query, a
+// cache miss, a ranked query, and two per-item errors that must not fail
+// the batch.  Items come back in request order with per-item statuses.
+func TestBatchEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// Prime the cache so item 0 is a hit.
+	getJSON(t, ts.URL+"/v1/descendants?start=movies.xml&tag=actor", 200)
+
+	got := postBatch(t, ts.URL, "", shard.BatchRequest{Queries: []shard.BatchQuery{
+		{Start: "movies.xml", Tag: "actor"},
+		{Start: "actors.xml", Tag: "actor"},
+		{Q: "//movie//actor"},
+		{Q: "//["},
+		{Start: "nope.xml", Tag: "actor"},
+	}}, 200)
+
+	if len(got.Results) != 5 {
+		t.Fatalf("%d items, want 5", len(got.Results))
+	}
+	wantStatus := []string{"ok", "ok", "ok", "error", "error"}
+	for i, want := range wantStatus {
+		if got.Results[i].Status != want {
+			t.Errorf("item %d status = %q, want %q (error %q)", i, got.Results[i].Status, want, got.Results[i].Error)
+		}
+	}
+	if got.Completed != 5 || got.Partial || got.TimedOut {
+		t.Errorf("completed=%d partial=%v timedOut=%v, want 5/false/false", got.Completed, got.Partial, got.TimedOut)
+	}
+	if !got.Results[0].CacheHit {
+		t.Error("primed descendants item not flagged as a cache hit")
+	}
+	if got.Results[1].CacheHit {
+		t.Error("first-touch descendants item flagged as a cache hit")
+	}
+	if got.Results[0].Count != 2 {
+		t.Errorf("movies.xml//actor count = %d, want 2", got.Results[0].Count)
+	}
+	ranked := got.Results[2]
+	if ranked.Count == 0 || ranked.Results[0].Score <= 0 {
+		t.Errorf("ranked item got %+v, want scored results", ranked)
+	}
+	// The ranked item must agree with the single-query endpoint.
+	single := getJSON(t, ts.URL+"/v1/query?q="+strings.ReplaceAll("//movie//actor", "/", "%2F"), 200)
+	if float64(ranked.Count) != single["count"].(float64) {
+		t.Errorf("batch ranked count %d != /v1/query count %v", ranked.Count, single["count"])
+	}
+	for _, bad := range []int{3, 4} {
+		if got.Results[bad].Error == "" {
+			t.Errorf("item %d has no error message", bad)
+		}
+	}
+	// One batch = one admission = one request counter tick.
+	stats := getJSON(t, ts.URL+"/statsz", 200)
+	reqs := stats["server"].(map[string]any)["requests"].(map[string]any)
+	if reqs["batch"].(float64) != 1 {
+		t.Errorf("requests.batch = %v, want 1", reqs["batch"])
+	}
+}
+
+// TestBatchKDefaults checks the three-level k resolution: item K, then the
+// request default, then the server default, clamped to MaxLimit.
+func TestBatchKDefaults(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxLimit: 3})
+	got := postBatch(t, ts.URL, "", shard.BatchRequest{
+		K: 1,
+		Queries: []shard.BatchQuery{
+			{Start: "movies.xml"},         // inherits request K=1
+			{Start: "movies.xml", K: 2},   // own K
+			{Start: "movies.xml", K: 100}, // clamped to MaxLimit=3
+		},
+	}, 200)
+	for i, want := range []int{1, 2, 3} {
+		if got.Results[i].Count != want {
+			t.Errorf("item %d count = %d, want %d", i, got.Results[i].Count, want)
+		}
+	}
+}
+
+// TestBatchDeadlinePrefix pins the partial-batch contract: when the
+// deadline expires mid-batch the response is still HTTP 200 with the
+// completed prefix intact, the remainder marked skipped, and the partial
+// flag set.
+func TestBatchDeadlinePrefix(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	calls := 0
+	s.batchItemHook = func(int) {
+		calls++
+		if calls == 3 {
+			time.Sleep(300 * time.Millisecond) // past the 100ms deadline below
+		}
+	}
+	// Four identical ranked queries: one ordering group, so execution
+	// order is request order and the completed prefix is items 0..2.
+	qs := make([]shard.BatchQuery, 4)
+	for i := range qs {
+		qs[i] = shard.BatchQuery{Q: "//movie//actor"}
+	}
+	got := postBatch(t, ts.URL, "timeout=100ms", shard.BatchRequest{Queries: qs}, 200)
+	wantStatus := []string{"ok", "ok", "ok", "skipped"}
+	for i, want := range wantStatus {
+		if got.Results[i].Status != want {
+			t.Fatalf("item %d status = %q, want %q", i, got.Results[i].Status, want)
+		}
+	}
+	if got.Completed != 3 || !got.Partial || !got.TimedOut {
+		t.Errorf("completed=%d partial=%v timedOut=%v, want 3/true/true", got.Completed, got.Partial, got.TimedOut)
+	}
+	// Items 0 and 1 ran before the deadline: full, untruncated answers.
+	for i := 0; i < 2; i++ {
+		if got.Results[i].Count == 0 || got.Results[i].Truncated {
+			t.Errorf("pre-deadline item %d: count=%d truncated=%v", i, got.Results[i].Count, got.Results[i].Truncated)
+		}
+	}
+}
+
+// TestBatchShedding: a saturated server sheds a whole batch with 429, the
+// same admission contract as the single-query endpoints.
+func TestBatchShedding(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInFlight: 1})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.queryHook = func() {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+	}
+	done := make(chan map[string]any)
+	go func() {
+		done <- getJSON(t, ts.URL+"/v1/descendants?start=movies.xml&tag=actor", 200)
+	}()
+	<-entered
+
+	body, _ := json.Marshal(shard.BatchRequest{Queries: []shard.BatchQuery{{Q: "//movie"}}})
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("saturated server answered batch with %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	resp.Body.Close()
+	close(release)
+	<-done
+}
+
+// TestBatchRequestValidation covers the batch-level 4xx paths: wrong
+// method, empty body, oversized batch.
+func TestBatchRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatch: 2})
+
+	resp, err := http.Get(ts.URL + "/v1/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/batch = %d, want 405", resp.StatusCode)
+	}
+
+	for name, body := range map[string]string{
+		"empty":    `{"queries": []}`,
+		"garbage":  `{"queries": 12}`,
+		"too-many": `{"queries": [{"q":"//a"},{"q":"//b"},{"q":"//c"}]}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s batch = %d, want 400", name, resp.StatusCode)
+		}
+	}
+}

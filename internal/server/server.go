@@ -8,6 +8,7 @@
 //	GET /v1/descendants  start//tag connection queries
 //	GET /v1/connected    point-to-point connection tests
 //	GET /v1/query        ranked path expressions (ParseQuery/Evaluator)
+//	POST /v1/batch       many queries in one request, one admission slot
 //	GET /healthz         liveness
 //	GET /statsz          engine + self-tuning + server statistics
 //	GET /metrics         Prometheus text format
@@ -57,6 +58,9 @@ type Config struct {
 	DefaultLimit int
 	// MaxLimit clamps client-requested result limits.  Default 10000.
 	MaxLimit int
+	// MaxBatch caps the number of queries in one POST /v1/batch request.
+	// Default 256.
+	MaxBatch int
 	// CacheSize is the QueryCache capacity fronting /v1/descendants
 	// (number of distinct cached queries).  Default 1024; negative
 	// disables the cache.
@@ -99,6 +103,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxLimit <= 0 {
 		c.MaxLimit = 10000
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 1024
@@ -160,6 +167,7 @@ type Server struct {
 	reqDescendants atomic.Int64
 	reqConnected   atomic.Int64
 	reqQuery       atomic.Int64
+	reqBatch       atomic.Int64
 	reqShardEval   atomic.Int64
 	tracedEvals    atomic.Int64
 	shed           atomic.Int64
@@ -176,6 +184,10 @@ type Server struct {
 	// queryHook, when set, runs after admission and before evaluation.
 	// It is a test seam for saturating the semaphore deterministically.
 	queryHook func()
+	// batchItemHook, when set, runs before each executed /v1/batch item
+	// with its request position.  It is a test seam for expiring the batch
+	// deadline at a chosen point in the execution order.
+	batchItemHook func(int)
 }
 
 // New wraps a built index as generation 1.  cfg zero-value fields take the
@@ -201,6 +213,7 @@ func NewPending(coll *xmlgraph.Collection, cfg Config) *Server {
 			"descendants": new(obs.Histogram),
 			"connected":   new(obs.Histogram),
 			"query":       new(obs.Histogram),
+			"batch":       new(obs.Histogram),
 			"shard_eval":  new(obs.Histogram),
 		},
 	}
@@ -325,6 +338,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/descendants", s.admit("descendants", &s.reqDescendants, s.handleDescendants))
 	mux.HandleFunc("/v1/connected", s.admit("connected", &s.reqConnected, s.handleConnected))
 	mux.HandleFunc("/v1/query", s.admit("query", &s.reqQuery, s.handleQuery))
+	mux.HandleFunc("/v1/batch", s.admit("batch", &s.reqBatch, s.handleBatch))
 	mux.HandleFunc("/v1/admin/reindex", s.handleReindex)
 	if s.cfg.Shard != nil {
 		mux.HandleFunc("/v1/shard/eval", s.handleShardEval)
@@ -701,6 +715,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, ctx context
 		"results":    out,
 		"count":      len(out),
 		"timedOut":   timedOut,
+		"truncated":  eval.Stats.Truncated,
 		"generation": g.num,
 	}
 	if ri.traceWanted && ri.trace != nil {
@@ -808,6 +823,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 				"descendants": s.reqDescendants.Load(),
 				"connected":   s.reqConnected.Load(),
 				"query":       s.reqQuery.Load(),
+				"batch":       s.reqBatch.Load(),
 			},
 		},
 	}

@@ -1,0 +1,129 @@
+package shard_test
+
+// Batch-endpoint parity on the sharded tier: POST /v1/batch through the
+// router must answer every item exactly like the corresponding single-query
+// endpoint, at 1, 2 and 4 shards, with per-item errors contained to their
+// item.  Run under -race this also exercises consecutive scatter-gathers
+// reusing one admission slot.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/shard"
+	"repro/internal/testutil"
+	"repro/internal/xmlgraph"
+)
+
+func (c *cluster) postBatch(req shard.BatchRequest) shard.BatchResponse {
+	c.t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	resp, err := http.Post(c.router.URL+"/v1/batch?timeout=20s", "application/json", bytes.NewReader(body))
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		c.t.Fatalf("POST /v1/batch: status %d", resp.StatusCode)
+	}
+	var out shard.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		c.t.Fatalf("POST /v1/batch: decode: %v", err)
+	}
+	return out
+}
+
+// queryResp is the router's /v1/query wire shape.
+type queryResp struct {
+	Results []struct {
+		Node    xmlgraph.NodeID `json:"node"`
+		Score   float64         `json:"score"`
+		PathLen int32           `json:"pathLen"`
+	} `json:"results"`
+	Count   int  `json:"count"`
+	Partial bool `json:"partial"`
+}
+
+func TestClusterBatchParity(t *testing.T) {
+	coll := testutil.Generate(testutil.Linked, 1, 12, 40, 30)
+	ix := buildIndex(t, coll)
+	starts := []xmlgraph.NodeID{0, 7, 23}
+	exprs := []string{"//a//b", "//b//*"}
+	for _, n := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards%d", n), func(t *testing.T) {
+			c := newCluster(t, coll, ix, n, 0)
+			const k = 1 << 20
+
+			var qs []shard.BatchQuery
+			for _, s := range starts {
+				qs = append(qs, shard.BatchQuery{Start: fmt.Sprint(s), Tag: "b", K: k})
+			}
+			for _, e := range exprs {
+				qs = append(qs, shard.BatchQuery{Q: e, K: k})
+			}
+			qs = append(qs, shard.BatchQuery{Q: "//["})           // parse error
+			qs = append(qs, shard.BatchQuery{Start: "999999999"}) // unknown node
+
+			got := c.postBatch(shard.BatchRequest{Queries: qs})
+			if len(got.Results) != len(qs) {
+				t.Fatalf("%d items, want %d", len(got.Results), len(qs))
+			}
+			if got.Partial || got.TimedOut {
+				t.Fatalf("clean cluster answered partial=%v timedOut=%v", got.Partial, got.TimedOut)
+			}
+			if got.Completed != len(qs) {
+				t.Fatalf("completed = %d, want %d", got.Completed, len(qs))
+			}
+
+			// Descendants items match the single-query endpoint element for
+			// element.
+			for i, s := range starts {
+				item := got.Results[i]
+				if item.Status != shard.BatchOK {
+					t.Fatalf("descendants item %d status %q (%s)", i, item.Status, item.Error)
+				}
+				single, _ := c.descendants(s, "b", k)
+				if item.Count != single.Count {
+					t.Fatalf("start %d: batch %d results, single %d", s, item.Count, single.Count)
+				}
+				for j, r := range item.Results {
+					if r.Node != single.Results[j].Node || r.Dist != single.Results[j].Dist {
+						t.Fatalf("start %d result %d: batch (%d,%d), single (%d,%d)",
+							s, j, r.Node, r.Dist, single.Results[j].Node, single.Results[j].Dist)
+					}
+				}
+			}
+			// Ranked items match /v1/query exactly: nodes, scores, order.
+			for i, e := range exprs {
+				item := got.Results[len(starts)+i]
+				if item.Status != shard.BatchOK {
+					t.Fatalf("ranked item %q status %q (%s)", e, item.Status, item.Error)
+				}
+				var single queryResp
+				c.getJSON(fmt.Sprintf("/v1/query?q=%s&k=%d&timeout=20s", e, k), &single)
+				if item.Count != single.Count {
+					t.Fatalf("%q: batch %d results, single %d", e, item.Count, single.Count)
+				}
+				for j, r := range item.Results {
+					sr := single.Results[j]
+					if r.Node != sr.Node || r.Score != sr.Score || r.PathLen != sr.PathLen {
+						t.Fatalf("%q result %d: batch %+v, single %+v", e, j, r, sr)
+					}
+				}
+			}
+			// The two bad items carry their own errors without failing the
+			// batch.
+			for _, bad := range []int{len(qs) - 2, len(qs) - 1} {
+				if got.Results[bad].Status != shard.BatchError || got.Results[bad].Error == "" {
+					t.Fatalf("bad item %d: %+v", bad, got.Results[bad])
+				}
+			}
+		})
+	}
+}

@@ -46,6 +46,9 @@ type RouterConfig struct {
 	// Defaults 100 / 10000.
 	DefaultLimit int
 	MaxLimit     int
+	// MaxBatch caps the number of queries in one POST /v1/batch request.
+	// Default 256.
+	MaxBatch int
 	// ShardTimeout bounds each shard RPC attempt.  Default 10s.
 	ShardTimeout time.Duration
 	// Retries / RetryBackoff tune the shard client.  Defaults 2 / 25ms.
@@ -81,6 +84,9 @@ func (c RouterConfig) withDefaults() RouterConfig {
 	}
 	if c.MaxLimit <= 0 {
 		c.MaxLimit = 10000
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
 	}
 	if c.ShardTimeout <= 0 {
 		c.ShardTimeout = 10 * time.Second
@@ -156,6 +162,7 @@ type Router struct {
 	reqDescendants atomic.Int64
 	reqConnected   atomic.Int64
 	reqQuery       atomic.Int64
+	reqBatch       atomic.Int64
 	shed           atomic.Int64
 	notReady       atomic.Int64
 	timeouts       atomic.Int64
@@ -197,6 +204,7 @@ func NewRouter(coll *xmlgraph.Collection, cfg RouterConfig) (*Router, error) {
 			"descendants": new(obs.Histogram),
 			"connected":   new(obs.Histogram),
 			"query":       new(obs.Histogram),
+			"batch":       new(obs.Histogram),
 		},
 	}
 	rt.shards = make([]*shardState, len(cfg.Shards))
@@ -425,6 +433,7 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("/v1/descendants", rt.admit("descendants", &rt.reqDescendants, rt.handleDescendants))
 	mux.HandleFunc("/v1/connected", rt.admit("connected", &rt.reqConnected, rt.handleConnected))
 	mux.HandleFunc("/v1/query", rt.admit("query", &rt.reqQuery, rt.handleQuery))
+	mux.HandleFunc("/v1/batch", rt.admit("batch", &rt.reqBatch, rt.handleBatch))
 	return rt.withRequestID(rt.logged(mux))
 }
 

@@ -1,0 +1,199 @@
+package shard
+
+// POST /v1/batch on the router: the single-node batch endpoint's wire
+// contract (BatchRequest/BatchResponse in protocol.go) over scatter-gather
+// evaluation.  The router owns no query cache, so the cache-hit tier of
+// the single-node execution order does not exist here; items still run
+// grouped — descendants by the start node's meta document (consecutive
+// gathers fan out to the same owning shard), ranked queries by their first
+// step's tag — with the response in request order and a deadline expiry
+// returning the completed prefix plus a "partial" marker.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"repro/internal/query"
+	"repro/internal/xmlgraph"
+)
+
+// handleBatch answers POST /v1/batch on the router.
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request, ctx context.Context) {
+	if r.Method != http.MethodPost {
+		rt.fail(w, http.StatusMethodNotAllowed, "POST a JSON batch body to /v1/batch")
+		return
+	}
+	var req BatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		rt.fail(w, http.StatusBadRequest, "bad batch body: "+err.Error())
+		return
+	}
+	if len(req.Queries) == 0 {
+		rt.fail(w, http.StatusBadRequest, `empty batch: want {"queries": [...]}`)
+		return
+	}
+	if len(req.Queries) > rt.cfg.MaxBatch {
+		rt.fail(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d queries exceeds the limit of %d", len(req.Queries), rt.cfg.MaxBatch))
+		return
+	}
+	topo := rt.topo.Load()
+	reqID := requestIDFrom(ctx)
+
+	items := make([]BatchItem, len(req.Queries))
+	plan := make([]routerBatchItem, 0, len(req.Queries))
+	for i, bq := range req.Queries {
+		it, err := rt.planBatchItem(topo, i, bq, req.K)
+		if err != nil {
+			items[i] = BatchItem{Status: BatchError, Error: err.Error()}
+			continue
+		}
+		plan = append(plan, it)
+	}
+	sort.SliceStable(plan, func(i, j int) bool {
+		a, b := plan[i], plan[j]
+		if a.ranked != b.ranked {
+			return !a.ranked // descendants items first
+		}
+		if a.ranked {
+			return a.qTag < b.qTag
+		}
+		return a.meta < b.meta
+	})
+
+	failedSet := map[int]bool{}
+	executed := 0
+	for _, it := range plan {
+		if expired(ctx) {
+			break
+		}
+		items[it.idx] = rt.runBatchItem(ctx, reqID, it, failedSet)
+		executed++
+	}
+	for _, it := range plan[executed:] {
+		items[it.idx] = BatchItem{Status: BatchSkipped, Error: "batch deadline expired"}
+	}
+
+	timedOut := expired(ctx)
+	if timedOut {
+		rt.timeouts.Add(1)
+	}
+	failed := make([]int, 0, len(failedSet))
+	for id := range failedSet {
+		failed = append(failed, id)
+	}
+	sort.Ints(failed)
+	rt.setPartialHeader(w, gatherOut{failed: failed})
+	rt.ok(w, BatchResponse{
+		Results:      items,
+		Completed:    len(items) - (len(plan) - executed),
+		Partial:      executed < len(plan),
+		TimedOut:     timedOut,
+		FailedShards: failed,
+	})
+}
+
+// routerBatchItem is one executable entry of a router batch.
+type routerBatchItem struct {
+	idx int
+	k   int
+
+	ranked bool
+	q      *query.Query
+	qTag   string
+
+	start   xmlgraph.NodeID
+	tag     string
+	maxDist int32
+	self    bool
+	meta    int32
+}
+
+// planBatchItem parses and resolves one entry; errors become per-item
+// "error" statuses.
+func (rt *Router) planBatchItem(topo *topology, i int, bq BatchQuery, defK int) (routerBatchItem, error) {
+	it := routerBatchItem{idx: i, k: bq.K}
+	if it.k <= 0 {
+		it.k = defK
+	}
+	if it.k <= 0 {
+		it.k = rt.cfg.DefaultLimit
+	}
+	if it.k > rt.cfg.MaxLimit {
+		it.k = rt.cfg.MaxLimit
+	}
+	if bq.Q != "" {
+		pq, err := query.Parse(bq.Q)
+		if err != nil {
+			return it, err
+		}
+		it.ranked = true
+		it.q = pq
+		it.qTag = pq.Steps[0].Tag
+		return it, nil
+	}
+	start, err := rt.resolveNode(bq.Start)
+	if err != nil {
+		return it, fmt.Errorf("start: %v", err)
+	}
+	if bq.MaxDist < 0 {
+		return it, fmt.Errorf("bad maxDist %d (want >= 0)", bq.MaxDist)
+	}
+	it.start, it.tag, it.maxDist, it.self = start, bq.Tag, bq.MaxDist, bq.IncludeSelf
+	if topo != nil && int(start) < len(topo.metaOf) {
+		it.meta = topo.metaOf[start]
+	}
+	return it, nil
+}
+
+// runBatchItem evaluates one planned item, accumulating failed shards into
+// the batch-wide set.
+func (rt *Router) runBatchItem(ctx context.Context, reqID string, it routerBatchItem, failedSet map[int]bool) BatchItem {
+	item := BatchItem{Status: BatchOK}
+	if it.ranked {
+		be := &routerBackend{rt: rt, ctx: ctx, reqID: reqID}
+		eval := &query.Evaluator{Index: be, Ontology: rt.onto, Cancel: ctx.Done()}
+		matches := eval.EvaluateTopK(it.q, it.k)
+		item.Results = make([]BatchResult, 0, len(matches))
+		for _, m := range matches {
+			br := rt.batchResult(m.Node, m.PathLen)
+			br.Score = m.Score
+			br.PathLen = m.PathLen
+			item.Results = append(item.Results, br)
+		}
+		item.Truncated = be.partial || eval.Stats.Truncated
+		for _, id := range be.failed {
+			failedSet[id] = true
+		}
+		item.Count = len(item.Results)
+		return item
+	}
+	g := rt.gatherDescendants(ctx, reqID, it.start, it.tag, it.maxDist, it.k, it.self, nil)
+	item.Results = make([]BatchResult, 0, min(len(g.results), it.k))
+	for _, e := range g.results {
+		if len(item.Results) >= it.k {
+			break
+		}
+		item.Results = append(item.Results, rt.batchResult(e.Node, e.Dist))
+	}
+	item.Truncated = g.partial
+	for _, id := range g.failed {
+		failedSet[id] = true
+	}
+	item.Count = len(item.Results)
+	return item
+}
+
+// batchResult renders one result element in the batch wire shape.
+func (rt *Router) batchResult(n xmlgraph.NodeID, dist int32) BatchResult {
+	return BatchResult{
+		Node: n,
+		Tag:  rt.coll.Tag(n),
+		Doc:  rt.coll.Doc(rt.coll.DocOf(n)).Name,
+		Text: snippet(rt.coll.Node(n).Text),
+		Dist: dist,
+	}
+}

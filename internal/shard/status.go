@@ -107,6 +107,7 @@ func (rt *Router) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			"descendants":  rt.reqDescendants.Load(),
 			"connected":    rt.reqConnected.Load(),
 			"query":        rt.reqQuery.Load(),
+			"batch":        rt.reqBatch.Load(),
 			"shed":         rt.shed.Load(),
 			"notReady":     rt.notReady.Load(),
 			"timeouts":     rt.timeouts.Load(),

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	flixbench [-docs 6210] [-seed 42] [-exp all|table1|figure5|errors|conn|scale|hetero|serving|build|swap|hotpath|shard|dtrace|topk]
+//	flixbench [-docs 6210] [-seed 42] [-exp all|table1|figure5|errors|conn|scale|hetero|serving|build|swap|hotpath|shard|dtrace|topk|mmap]
 //
 // The scale and hetero experiments go beyond the paper's evaluation and
 // cover its §7 future work: scalability with growing collections and
@@ -34,7 +34,7 @@ func main() {
 	log.SetPrefix("flixbench: ")
 	docs := flag.Int("docs", 6210, "number of publication documents (paper: 6210)")
 	seed := flag.Int64("seed", 42, "generator seed")
-	exp := flag.String("exp", "all", "experiment: all | table1 | figure5 | errors | conn | scale | hetero | serving | build | swap | hotpath | shard | dtrace | topk")
+	exp := flag.String("exp", "all", "experiment: all | table1 | figure5 | errors | conn | scale | hetero | serving | build | swap | hotpath | shard | dtrace | topk | mmap")
 	pairs := flag.Int("pairs", 200, "connection-test pairs")
 	closure := flag.Bool("closure", false, "also build the full transitive closure as the Table 1 size reference (slow)")
 	servingOut := flag.String("serving-out", "BENCH_serving.json", "output file for the serving experiment's machine-readable results")
@@ -49,6 +49,8 @@ func main() {
 	topkOut := flag.String("topk-out", "BENCH_topk.json", "output file for the topk experiment's machine-readable results")
 	topkSpeedup := flag.Float64("topk-speedup", 10, "minimum top-k latency speedup over the frozen reference the topk experiment accepts (0 disables)")
 	topkAllocRatio := flag.Float64("topk-alloc-ratio", 10, "minimum top-k allocation reduction over the frozen reference the topk experiment accepts (0 disables)")
+	mmapOut := flag.String("mmap-out", "BENCH_mmap.json", "output file for the mmap experiment's machine-readable results")
+	mmapOverhead := flag.Float64("mmap-overhead", 0.5, "maximum fraction of the shared decomposition time the v2 open may add on top (0 disables; the v1 parse typically adds far more)")
 	flag.Parse()
 
 	run := map[string]bool{}
@@ -87,6 +89,9 @@ func main() {
 	}
 	if run["topk"] {
 		topkExperiment(*docs, *seed, *topkOut, *topkSpeedup, *topkAllocRatio)
+	}
+	if run["mmap"] {
+		mmapExperiment(*docs, *seed, *mmapOut, *mmapOverhead)
 	}
 	if !run["table1"] && !run["figure5"] && !run["errors"] && !run["conn"] {
 		return

@@ -9,6 +9,7 @@
 //	      [-timeout 2s] [-cache 1024] [-slow-query 100ms]
 //	      [-slow-query-sample 10] [-debug-addr :6060]
 //	      [-reindex-interval 0] [-snapshot-dir gens/] [-snapshot-retain 3]
+//	      [-snapshot-format v1|v2] [-mmap]
 //	      [-shard-id 0 -shard-count 3 [-shard-vnodes 64]]
 //
 // Endpoints (see internal/server):
@@ -26,6 +27,11 @@
 // against the live query load and hot-swaps improved generations in without
 // dropping a query; -snapshot-dir persists each generation (pruned to
 // -snapshot-retain) and warm-starts from the newest one on restart.
+// -snapshot-format selects the persisted layout: "v1" is the portable
+// stream, "v2" the offset-based container that warm start serves straight
+// from a read-only memory mapping (-mmap, default on) with no parse step.
+// Warm start and -load sniff the format per file, so either binary setting
+// reads both.
 //
 // With -shard-id/-shard-count the process runs as one shard of a
 // flixd-router cluster: it builds the same full index, additionally serves
@@ -83,6 +89,8 @@ func main() {
 		minQ     = flag.Int64("reindex-min-queries", 50, "queries a generation must serve before its statistics are trusted")
 		snapDir  = flag.String("snapshot-dir", "", "persist each index generation here and warm-start from the newest (empty disables)")
 		snapKeep = flag.Int("snapshot-retain", 3, "generation snapshots to keep in -snapshot-dir")
+		snapFmt  = flag.String("snapshot-format", "v1", "persisted snapshot layout: v1 (portable stream) | v2 (mmap-able container)")
+		useMmap  = flag.Bool("mmap", true, "serve v2 snapshots from a read-only memory mapping instead of reading them into the heap")
 		shardID  = flag.Int("shard-id", -1, "run as shard N of a flixd-router cluster (-1 disables shard mode)")
 		shardN   = flag.Int("shard-count", 0, "total shards in the cluster (required with -shard-id)")
 		shardVN  = flag.Int("shard-vnodes", 0, "ring virtual nodes per shard (0 = default; must match the router)")
@@ -94,6 +102,9 @@ func main() {
 	}
 	if *shardID >= 0 && (*shardN < 1 || *shardID >= *shardN) {
 		log.Fatalf("-shard-id %d needs -shard-count > %d", *shardID, *shardID)
+	}
+	if *snapFmt != "v1" && *snapFmt != "v2" {
+		log.Fatalf("-snapshot-format %q: want v1 or v2", *snapFmt)
 	}
 
 	loader := flix.NewLoader()
@@ -173,17 +184,18 @@ func main() {
 	rebuildCtx, stopRebuild := context.WithCancel(context.Background())
 	defer stopRebuild()
 	go func() {
-		ix := initialIndex(coll, cfg, *loadIx, *snapDir, *buildPar)
+		ix := initialIndex(coll, cfg, *loadIx, *snapDir, *buildPar, *useMmap)
 		log.Print(ix.Describe())
 		gen := s.Install(ix, "initial index")
 		log.Printf("generation %d live", gen)
 		mgr := rebuild.New(coll, s, rebuild.Config{
-			Interval:    *reindex,
-			MinQueries:  *minQ,
-			Parallelism: *buildPar,
-			SnapshotDir: *snapDir,
-			Retain:      *snapKeep,
-			Logger:      log.Default(),
+			Interval:       *reindex,
+			MinQueries:     *minQ,
+			Parallelism:    *buildPar,
+			SnapshotDir:    *snapDir,
+			Retain:         *snapKeep,
+			SnapshotFormat: *snapFmt,
+			Logger:         log.Default(),
 		})
 		s.SetReindexer(mgr)
 		if *reindex > 0 {
@@ -238,32 +250,29 @@ func main() {
 // initialIndex produces generation 1: an explicitly named snapshot (-load),
 // else the newest generation snapshot in -snapshot-dir (warm start — a
 // stale or incompatible one falls back to building), else a fresh build.
-func initialIndex(coll *flix.Collection, cfg flix.Config, loadIx, snapDir string, parallelism int) *flix.Index {
+// Snapshot files of either format are accepted: the loader sniffs the
+// magic, parsing v1 streams and serving v2 containers in place (mapped
+// when useMmap).
+func initialIndex(coll *flix.Collection, cfg flix.Config, loadIx, snapDir string, parallelism int, useMmap bool) *flix.Index {
 	t0 := time.Now()
 	if loadIx != "" {
-		f, err := os.Open(loadIx)
+		ix, err := flix.LoadSnapshotFile(coll, loadIx, useMmap)
 		if err != nil {
 			log.Fatal(err)
 		}
-		ix, err := flix.Load(coll, f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("index restored from %s in %s", loadIx, time.Since(t0).Round(time.Millisecond))
+		log.Printf("index restored from %s (%s) in %s",
+			loadIx, ix.StorageInfo().Format, time.Since(t0).Round(time.Millisecond))
 		return ix
 	}
 	if snapDir != "" {
 		if path, err := rebuild.LatestSnapshot(snapDir); err == nil && path != "" {
-			if f, err := os.Open(path); err == nil {
-				ix, err := flix.Load(coll, f)
-				f.Close()
-				if err == nil {
-					log.Printf("index warm-started from %s in %s", path, time.Since(t0).Round(time.Millisecond))
-					return ix
-				}
-				log.Printf("warning: snapshot %s unusable (%v); building fresh", path, err)
+			ix, err := flix.LoadSnapshotFile(coll, path, useMmap)
+			if err == nil {
+				log.Printf("index warm-started from %s (%s) in %s",
+					path, ix.StorageInfo().Format, time.Since(t0).Round(time.Millisecond))
+				return ix
 			}
+			log.Printf("warning: snapshot %s unusable (%v); building fresh", path, err)
 		}
 	}
 	ix, err := flix.BuildWithOptions(coll, cfg, flix.BuildOptions{Parallelism: parallelism})

@@ -77,15 +77,11 @@ func main() {
 
 	var ix *flix.Index
 	if *loadIx != "" {
-		f, err := os.Open(*loadIx)
+		ix, err = flix.LoadSnapshotFile(coll, *loadIx, true)
 		if err != nil {
 			log.Fatal(err)
 		}
-		ix, err = flix.Load(coll, f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
+		defer ix.Close()
 	} else {
 		cfg, err := parseConfig(*config, *partSize, *strategy)
 		if err != nil {

@@ -22,6 +22,7 @@ import (
 	"repro/internal/meta"
 	"repro/internal/partition"
 	"repro/internal/pathindex"
+	"repro/internal/storage"
 	"repro/internal/xmlgraph"
 )
 
@@ -135,6 +136,13 @@ type Index struct {
 	cfg    Config
 	stats  QueryStats
 	bstats BuildStats
+
+	// snap is non-nil when the index is served from an open v2 snapshot
+	// (OpenSnapshot*): the pis alias its bytes, so it must stay open for
+	// the index's lifetime.  Close releases it.  format records the
+	// provenance ("" = heap build, "v1", "v2") for StorageInfo.
+	snap   *storage.Snapshot
+	format string
 
 	// scratch pools evalScratch values for the query hot path.  It is
 	// per-Index so the dense entered table is sized once and live

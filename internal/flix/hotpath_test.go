@@ -1,6 +1,7 @@
 package flix
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -137,6 +138,40 @@ func TestDescendantsAllocBudget(t *testing.T) {
 	})
 	if avg > 2 {
 		t.Fatalf("untraced descendants allocated %.1f allocs/op on a warm pool, budget 2", avg)
+	}
+}
+
+// TestDescendantsAllocBudgetMmap holds the mmap-backed generation to the
+// same bar: serving from a v2 snapshot must not cost the hot path any
+// allocations either — the varint posting cursors decode in place and the
+// merge scratch is pooled exactly like the heap build's.
+func TestDescendantsAllocBudgetMmap(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool drop cached items at random")
+	}
+	c := testutil.Generate(testutil.Linked, 3, 20, 25, 40)
+	built, err := Build(c, Config{Kind: Hybrid, PartitionSize: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := built.WriteSnapshotV2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := OpenSnapshotBytes(c, buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	drop := func(Result) bool { return true }
+	for i := 0; i < 4; i++ { // warm the pool, tag caches and lazy structures
+		ix.Descendants(0, "a", Options{MaxResults: 50}, drop)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		ix.Descendants(0, "a", Options{MaxResults: 50}, drop)
+	})
+	if avg > 2 {
+		t.Fatalf("mmap-backed descendants allocated %.1f allocs/op on a warm pool, budget 2", avg)
 	}
 }
 

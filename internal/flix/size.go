@@ -76,6 +76,31 @@ func (ix *Index) SizeBytes() (int64, error) {
 	return ix.WriteTo(io.Discard)
 }
 
+// decompose recomputes the meta-document decomposition a stored
+// configuration describes.  Both snapshot loaders (the v1 stream and the
+// v2 mmap container) rely on it being deterministic: the collection plus
+// the stored Config fully determine the meta documents, so only the
+// per-meta-document indexes need to be persisted.
+func decompose(c *xmlgraph.Collection, cfg Config) (*meta.Set, error) {
+	switch cfg.Kind {
+	case Naive:
+		return meta.Build(c, partition.Singleton(c)), nil
+	case MaximalPPO:
+		return meta.Build(c, partition.TreePartitions(c)), nil
+	case UnconnectedHOPI:
+		return meta.Build(c, partition.SizeBounded(c, cfg.PartitionSize)), nil
+	case Hybrid:
+		return meta.Build(c, partition.Hybrid(c, cfg.PartitionSize, cfg.MinTreeDocs)), nil
+	case Monolithic:
+		return meta.Build(c, partition.Whole(c)), nil
+	case ElementLevel:
+		assign, parts := partition.ElementLevel(c, cfg.PartitionSize)
+		return meta.BuildElements(c, assign, parts), nil
+	default:
+		return nil, fmt.Errorf("flix: stored configuration kind %d unknown", cfg.Kind)
+	}
+}
+
 // Load restores an index written by WriteTo.  The collection must be the
 // one the index was built over: the meta-document decomposition is
 // recomputed deterministically from the stored configuration and the
@@ -111,29 +136,15 @@ func Load(c *xmlgraph.Collection, r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("flix: unreasonable meta-document count %d in snapshot", nMetas)
 	}
 
-	var set *meta.Set
-	switch cfg.Kind {
-	case Naive:
-		set = meta.Build(c, partition.Singleton(c))
-	case MaximalPPO:
-		set = meta.Build(c, partition.TreePartitions(c))
-	case UnconnectedHOPI:
-		set = meta.Build(c, partition.SizeBounded(c, cfg.PartitionSize))
-	case Hybrid:
-		set = meta.Build(c, partition.Hybrid(c, cfg.PartitionSize, cfg.MinTreeDocs))
-	case Monolithic:
-		set = meta.Build(c, partition.Whole(c))
-	case ElementLevel:
-		assign, parts := partition.ElementLevel(c, cfg.PartitionSize)
-		set = meta.BuildElements(c, assign, parts)
-	default:
-		return nil, fmt.Errorf("flix: stored configuration kind %d unknown", cfg.Kind)
+	set, err := decompose(c, cfg)
+	if err != nil {
+		return nil, err
 	}
 	if len(set.Metas) != nMetas {
 		return nil, fmt.Errorf("flix: stream has %d meta documents, collection yields %d — wrong collection?",
 			nMetas, len(set.Metas))
 	}
-	ix := &Index{coll: c, set: set, cfg: cfg, pis: make([]pathindex.Index, nMetas)}
+	ix := &Index{coll: c, set: set, cfg: cfg, pis: make([]pathindex.Index, nMetas), format: "v1"}
 	for i, md := range set.Metas {
 		kind, err := sr.ReadHeader()
 		if err != nil {

@@ -1,0 +1,264 @@
+package flix
+
+// The v2 snapshot path: WriteSnapshotV2 emits the offset-based mmap-able
+// container (storage.SnapshotWriter), OpenSnapshot serves an index
+// straight from the mapped bytes with no parse step.  The file carries a
+// manifest section (configuration + per-meta-document fingerprints)
+// followed by one section per meta document in decomposition order; the
+// decomposition itself is recomputed deterministically from the manifest
+// configuration, exactly as the v1 loader does, and the fingerprints
+// (node count, runtime-link count, link hash) detect a mismatched
+// collection before any query runs.
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/meta"
+	"repro/internal/pathindex"
+	"repro/internal/storage"
+	"repro/internal/xmlgraph"
+)
+
+// ErrSnapshotCorrupt reports a v2 snapshot that failed structural
+// validation or its checksum; it aliases storage.ErrCorrupt so callers can
+// match either.  Truncations, bit flips and forged offsets all surface as
+// errors wrapping it — never a panic, never silently wrong results.
+var ErrSnapshotCorrupt = storage.ErrCorrupt
+
+// WriteSnapshotV2 serializes the index in the v2 snapshot container.
+// Unlike WriteTo (the v1 stream, which remains the default persisted
+// format), the result can be served by OpenSnapshot directly from a
+// memory-mapped file: fixed-width arrays are used in place and varint runs
+// are decoded lazily per probe.
+func (ix *Index) WriteSnapshotV2(w io.Writer) (int64, error) {
+	sw := storage.NewSnapshotWriter(w)
+	sw.Begin(storage.SectionManifest)
+	sw.Varint(int64(ix.cfg.Kind))
+	sw.Varint(int64(ix.cfg.PartitionSize))
+	sw.Varint(int64(ix.cfg.MinTreeDocs))
+	sw.Varint(int64(ix.cfg.Load))
+	sw.String(ix.cfg.Strategy)
+	sw.Uvarint(uint64(len(ix.pis)))
+	for i := range ix.pis {
+		md := ix.set.Metas[i]
+		sw.Uvarint(uint64(md.Graph.NumNodes()))
+		sw.Uvarint(uint64(len(md.OutLinks)))
+		sw.U64(linkHash(md))
+	}
+	sw.End()
+	for i, p := range ix.pis {
+		enc, ok := p.(storage.SectionEncoder)
+		if !ok {
+			return sw.Offset(), fmt.Errorf("flix: meta %d: %s index cannot encode a v2 section", i, p.Name())
+		}
+		sw.Begin(enc.SectionKind())
+		enc.EncodeSection(sw)
+		sw.End()
+	}
+	return sw.Finish()
+}
+
+// linkHash fingerprints a meta document's runtime link table (FNV-64a over
+// the (FromLocal, To) pairs).  OpenSnapshot compares it against the
+// recomputed decomposition, replacing the v1 loader's full link-table
+// comparison at a fraction of the stored bytes.
+func linkHash(md *meta.MetaDocument) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint32) {
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64(v>>s) & 0xff
+			h *= prime64
+		}
+	}
+	for _, cl := range md.OutLinks {
+		mix(uint32(cl.FromLocal))
+		mix(uint32(cl.To))
+	}
+	return h
+}
+
+// OpenOptions tunes OpenSnapshotWith.
+type OpenOptions struct {
+	// Mmap maps the file read-only instead of reading it into memory.
+	// Platforms without mmap support fall back to a plain read.
+	Mmap bool
+}
+
+// OpenSnapshot opens a v2 snapshot file memory-mapped against the
+// collection it was written for.  The returned index serves queries
+// straight from the mapping; call Close when done (a finalizer releases
+// the mapping otherwise, so a hot-swapped-out generation pinned by
+// in-flight queries stays valid until the last reference drops).
+func OpenSnapshot(c *xmlgraph.Collection, path string) (*Index, error) {
+	return OpenSnapshotWith(c, path, OpenOptions{Mmap: true})
+}
+
+// OpenSnapshotWith is OpenSnapshot with explicit options.
+func OpenSnapshotWith(c *xmlgraph.Collection, path string, opts OpenOptions) (*Index, error) {
+	snap, err := storage.OpenSnapshotFile(path, opts.Mmap)
+	if err != nil {
+		return nil, wrapSnapshotErr(err)
+	}
+	ix, err := openSnapshot(c, snap)
+	if err != nil {
+		snap.Close()
+		return nil, err
+	}
+	return ix, nil
+}
+
+// OpenSnapshotBytes opens a v2 snapshot from an in-memory image.
+func OpenSnapshotBytes(c *xmlgraph.Collection, data []byte) (*Index, error) {
+	snap, err := storage.OpenSnapshotBytes(data)
+	if err != nil {
+		return nil, wrapSnapshotErr(err)
+	}
+	ix, err := openSnapshot(c, snap)
+	if err != nil {
+		snap.Close()
+		return nil, err
+	}
+	return ix, nil
+}
+
+// wrapSnapshotErr lifts the storage-level version error into this
+// package's ErrSnapshotVersion (keeping the original chained), so callers
+// match one sentinel for both the v1 stream and the v2 container.
+func wrapSnapshotErr(err error) error {
+	if errors.Is(err, storage.ErrVersion) && !errors.Is(err, ErrSnapshotVersion) {
+		return fmt.Errorf("%w (%w)", ErrSnapshotVersion, err)
+	}
+	return err
+}
+
+func openSnapshot(c *xmlgraph.Collection, snap *storage.Snapshot) (*Index, error) {
+	if !c.Frozen() {
+		return nil, fmt.Errorf("flix: collection must be frozen before OpenSnapshot")
+	}
+	if snap.NumSections() < 1 || snap.Section(0).Kind != storage.SectionManifest {
+		return nil, fmt.Errorf("%w: first section is not the manifest", ErrSnapshotCorrupt)
+	}
+	d := storage.NewSectionData(snap.Section(0).Data)
+	cfg := Config{
+		Kind:          ConfigKind(d.Varint()),
+		PartitionSize: int(d.Varint()),
+		MinTreeDocs:   int(d.Varint()),
+		Load:          meta.QueryLoad(d.Varint()),
+		Strategy:      d.String(),
+	}
+	nMetas := int(d.Uvarint())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	// Each manifest entry takes at least 10 bytes, so this bound rejects a
+	// forged count before the arrays below are allocated.
+	if nMetas < 0 || nMetas > maxSnapshotMetas || nMetas > d.Remaining()/10+1 {
+		return nil, fmt.Errorf("%w: unreasonable meta-document count %d", ErrSnapshotCorrupt, nMetas)
+	}
+	if snap.NumSections() != nMetas+1 {
+		return nil, fmt.Errorf("%w: %d sections for %d meta documents", ErrSnapshotCorrupt, snap.NumSections(), nMetas)
+	}
+	type fingerprint struct {
+		nodes, links int
+		hash         uint64
+	}
+	fps := make([]fingerprint, nMetas)
+	for i := range fps {
+		fps[i] = fingerprint{nodes: int(d.Uvarint()), links: int(d.Uvarint()), hash: d.U64()}
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+
+	set, err := decompose(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(set.Metas) != nMetas {
+		return nil, fmt.Errorf("flix: snapshot has %d meta documents, collection yields %d — wrong collection?",
+			nMetas, len(set.Metas))
+	}
+	ix := &Index{coll: c, set: set, cfg: cfg, pis: make([]pathindex.Index, nMetas), snap: snap, format: "v2"}
+	for i, md := range set.Metas {
+		fp := fps[i]
+		if fp.nodes != md.Graph.NumNodes() || fp.links != len(md.OutLinks) || fp.hash != linkHash(md) {
+			return nil, fmt.Errorf("flix: meta %d: snapshot fingerprint mismatch — wrong collection?", i)
+		}
+		sec := snap.Section(i + 1)
+		open, ok := meta.SectionOpeners[sec.Kind]
+		if !ok {
+			return nil, fmt.Errorf("%w: meta %d: unknown section kind %d", ErrSnapshotCorrupt, i, sec.Kind)
+		}
+		idx, err := open(md.Graph, sec.Data)
+		if err != nil {
+			return nil, fmt.Errorf("flix: meta %d: %w", i, err)
+		}
+		ix.pis[i] = idx
+	}
+	return ix, nil
+}
+
+// LoadSnapshotFile restores an index from a snapshot file of either
+// format, sniffing the magic: v2 containers are opened in place (mapped
+// when useMmap), v1 streams are parsed with Load.  Both formats share the
+// generation store's gen-NNNNNN.flix naming, so warm start needs no
+// format bookkeeping.
+func LoadSnapshotFile(c *xmlgraph.Collection, path string, useMmap bool) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var magic [8]byte
+	n, _ := io.ReadFull(f, magic[:])
+	if storage.SniffSnapshot(magic[:n]) {
+		f.Close()
+		return OpenSnapshotWith(c, path, OpenOptions{Mmap: useMmap})
+	}
+	defer f.Close()
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return Load(c, bufio.NewReaderSize(f, 1<<20))
+}
+
+// Close releases the snapshot backing this index, if any.  It must only
+// be called once no query is active; indexes built in memory need no
+// Close.
+func (ix *Index) Close() error {
+	if ix.snap == nil {
+		return nil
+	}
+	return ix.snap.Close()
+}
+
+// StorageInfo describes how an index is backed.
+type StorageInfo struct {
+	// Format is "heap" for a built index, "v1" for one parsed from the
+	// legacy stream, "v2" for one served from an open snapshot container.
+	Format string
+	// Mapped reports whether the backing snapshot is memory-mapped.
+	Mapped bool
+	// MappedBytes is the size of the mapping (0 when not mapped).
+	MappedBytes int64
+}
+
+// StorageInfo reports how the index is backed; /statsz surfaces it.
+func (ix *Index) StorageInfo() StorageInfo {
+	si := StorageInfo{Format: ix.format}
+	if si.Format == "" {
+		si.Format = "heap"
+	}
+	if ix.snap != nil && ix.snap.Mapped() {
+		si.Mapped = true
+		si.MappedBytes = ix.snap.Size()
+	}
+	return si
+}

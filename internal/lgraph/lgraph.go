@@ -15,8 +15,12 @@ import (
 	"sort"
 )
 
-// Tag is a dictionary-compressed element name.
-type Tag int32
+// Tag is a dictionary-compressed element name.  It is an alias (not a
+// defined type) so the index packages' probe methods, which take tags,
+// satisfy the storage-agnostic probe interface (storage.Probe) that is
+// expressed in plain int32 — internal/storage sits below this package and
+// cannot import it.
+type Tag = int32
 
 // NoTag is returned for unknown element names.
 const NoTag Tag = -1

@@ -6,8 +6,10 @@ import (
 
 	"repro/internal/apex"
 	"repro/internal/hopi"
+	"repro/internal/lgraph"
 	"repro/internal/pathindex"
 	"repro/internal/ppo"
+	"repro/internal/storage"
 	"repro/internal/tc"
 )
 
@@ -59,6 +61,16 @@ var Readers = map[string]pathindex.BodyReader{
 	"hopi": hopi.ReadBody,
 	"apex": apex.ReadBody,
 	"tc":   tc.ReadBody,
+}
+
+// SectionOpeners maps a v2 snapshot section kind to the strategy-specific
+// opener that lays a zero-copy index view over the section bytes — the
+// mmap-era counterpart of Readers.
+var SectionOpeners = map[uint32]func(*lgraph.LGraph, []byte) (pathindex.Index, error){
+	storage.SectionPPO:  ppo.OpenSection,
+	storage.SectionHOPI: hopi.OpenSection,
+	storage.SectionAPEX: apex.OpenSection,
+	storage.SectionTC:   tc.OpenSection,
 }
 
 // Select implements the Indexing Strategy Selector: it picks the optimal

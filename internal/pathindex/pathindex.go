@@ -17,46 +17,27 @@ import (
 )
 
 // Visit receives one result node with its distance from the query node.
-// Returning false stops the enumeration.
-type Visit func(node, dist int32) bool
+// Returning false stops the enumeration.  It aliases storage.Visit so an
+// index implementation satisfies the storage-agnostic probe interface and
+// this package's Index with the same method set.
+type Visit = storage.Visit
 
 // Index is a connection index over one local graph.
 //
-// Reachability follows the descendants-or-self axis: every node reaches
-// itself at distance 0.
+// The query surface — reachability, distance and the four enumeration
+// probes — is storage.Probe, the storage-agnostic contract shared by
+// heap-built indexes and mmap-backed snapshot views; see that interface
+// for the semantics (descendants-or-self axis, ascending (dist, node)
+// emission order, allocation-free steady state).  Index adds the strategy
+// name and v1 serialization on top.
 type Index interface {
 	// Name identifies the strategy (e.g. "ppo", "hopi", "apex").
 	Name() string
 
-	// NumNodes returns the number of nodes of the indexed graph.
-	NumNodes() int
+	storage.Probe
 
-	// Reachable reports whether there is a (possibly empty) path x -> y.
-	Reachable(x, y int32) bool
-
-	// Distance returns the shortest-path distance from x to y, and false
-	// if y is not reachable from x.
-	Distance(x, y int32) (int32, bool)
-
-	// EachReachable enumerates every node reachable from x (including x,
-	// at distance 0) in ascending distance order.
-	EachReachable(x int32, fn Visit)
-
-	// EachReachableByTag enumerates the reachable nodes carrying tag, in
-	// ascending distance order.  x itself is included when it carries the
-	// tag (descendants-or-self semantics); callers wanting strict
-	// descendants skip dist 0.
-	EachReachableByTag(x int32, tag lgraph.Tag, fn Visit)
-
-	// EachReaching enumerates every node that reaches x (the
-	// ancestors-or-self axis), in ascending distance order.
-	EachReaching(x int32, fn Visit)
-
-	// EachReachingByTag is EachReaching restricted to one tag.
-	EachReachingByTag(x int32, tag lgraph.Tag, fn Visit)
-
-	// WriteTo serializes the index; the byte count is the "index size"
-	// reported in the experiments.
+	// WriteTo serializes the index in the v1 stream format; the byte
+	// count is the "index size" reported in the experiments.
 	io.WriterTo
 }
 

@@ -15,10 +15,11 @@ const snapshotPattern = "gen-*.flix"
 // SnapshotName returns the file name a generation is persisted under.
 func SnapshotName(gen uint64) string { return fmt.Sprintf("gen-%06d.flix", gen) }
 
-// persist writes the freshly installed generation with the regular snapshot
-// format (flix.WriteTo) and prunes old generations beyond cfg.Retain.  The
-// write goes through a temp file + rename so a crash mid-write never leaves
-// a half snapshot under a valid name.
+// persist writes the freshly installed generation in the configured
+// snapshot format ("v1" = flix.WriteTo stream, "v2" = the mmap-able
+// container) and prunes old generations beyond cfg.Retain.  The write goes
+// through a temp file + rename so a crash mid-write never leaves a half
+// snapshot under a valid name.
 func (m *Manager) persist(ix *flix.Index, gen uint64) error {
 	if err := os.MkdirAll(m.cfg.SnapshotDir, 0o755); err != nil {
 		return err
@@ -29,7 +30,15 @@ func (m *Manager) persist(ix *flix.Index, gen uint64) error {
 		return err
 	}
 	defer os.Remove(tmp.Name()) //nolint:errcheck // no-op after the rename
-	if _, err := ix.WriteTo(tmp); err != nil {
+	switch m.cfg.SnapshotFormat {
+	case "v2":
+		_, err = ix.WriteSnapshotV2(tmp)
+	case "", "v1":
+		_, err = ix.WriteTo(tmp)
+	default:
+		err = fmt.Errorf("rebuild: unknown snapshot format %q", m.cfg.SnapshotFormat)
+	}
+	if err != nil {
 		tmp.Close()
 		return err
 	}

@@ -88,8 +88,14 @@ type Config struct {
 	// Parallelism is the build worker-pool width (0 = all CPUs).
 	Parallelism int
 	// SnapshotDir, when non-empty, persists every installed generation as
-	// gen-<number>.flix via the regular snapshot format.
+	// gen-<number>.flix.
 	SnapshotDir string
+	// SnapshotFormat selects the persisted format: "v1" (default, the
+	// portable stream Index.WriteTo emits) or "v2" (the mmap-able
+	// container Index.WriteSnapshotV2 emits, which warm start serves with
+	// no parse step).  Warm start sniffs the format per file, so the two
+	// can coexist in one SnapshotDir across a flag change.
+	SnapshotFormat string
 	// Retain bounds how many generation snapshots are kept on disk.
 	// Default 3.
 	Retain int
@@ -103,6 +109,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Retain <= 0 {
 		c.Retain = 3
+	}
+	if c.SnapshotFormat == "" {
+		c.SnapshotFormat = "v1"
 	}
 	return c
 }

@@ -794,6 +794,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			"metaDocuments": g.ix.NumMetaDocuments(),
 			"runtimeLinks":  g.ix.RuntimeLinks(),
 			"strategies":    g.ix.StrategyCounts(),
+			"storage":       storageJSON(g.ix.StorageInfo()),
 		},
 		"queryStats": map[string]any{
 			"queries":          snap.Queries,
@@ -849,6 +850,17 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.ok(w, resp)
+}
+
+// storageJSON renders how the serving index is backed — "heap" for a
+// built generation, "v1"/"v2" for restored ones, with the mapping size
+// when the v2 container is served via mmap.
+func storageJSON(si flix.StorageInfo) map[string]any {
+	out := map[string]any{"format": si.Format, "mapped": si.Mapped}
+	if si.Mapped {
+		out["mappedBytes"] = si.MappedBytes
+	}
+	return out
 }
 
 // latencyJSON summarizes the per-endpoint and the generation's per-strategy

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package storage
+
+import "os"
+
+// mmapFile is unavailable on this platform; OpenSnapshotFile reads the
+// file into memory instead (the zero-copy section views work the same
+// over a heap buffer).
+func mmapFile(f *os.File, size int64) (data []byte, mapped bool, err error) {
+	return nil, false, nil
+}
+
+func munmapBytes(b []byte) error { return nil }

@@ -1,0 +1,29 @@
+//go:build unix
+
+package storage
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only.  mapped reports success; on any
+// failure the caller falls back to reading the file into memory.
+func mmapFile(f *os.File, size int64) (data []byte, mapped bool, err error) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, false, nil
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+// munmapBytes releases a mapping created by mmapFile.
+func munmapBytes(b []byte) error {
+	if b == nil {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

@@ -1,0 +1,91 @@
+package tc
+
+// v2 snapshot section codec.  The forward postings are stored as
+// interleaved (node, dist) int32 pairs behind a prefix-offset table, so
+// OpenSection aliases the snapshot bytes directly as []posting rows — the
+// resulting *Index is the heap type and runs the unmodified probe code.
+// The reverse postings stay derived data, built lazily on first reverse
+// query exactly as after a heap build.
+//
+//	u32 n, u32 total
+//	rowOff []u32 n+1      (element offsets, end = total)
+//	8-aligned
+//	pairs  []int32 2×total (interleaved node, dist per posting)
+
+import (
+	"fmt"
+	"unsafe"
+
+	"repro/internal/lgraph"
+	"repro/internal/pathindex"
+	"repro/internal/storage"
+)
+
+// SectionKind implements storage.SectionEncoder.
+func (idx *Index) SectionKind() uint32 { return storage.SectionTC }
+
+// EncodeSection implements storage.SectionEncoder.
+func (idx *Index) EncodeSection(sw *storage.SnapshotWriter) {
+	n := len(idx.fwd)
+	offs := make([]uint32, n+1)
+	for i, row := range idx.fwd {
+		offs[i+1] = offs[i] + uint32(len(row))
+	}
+	sw.U32(uint32(n))
+	sw.U32(offs[n])
+	sw.U32s(offs)
+	sw.Align(8)
+	for _, row := range idx.fwd {
+		sw.I32s(postingWords(row))
+	}
+}
+
+// postingWords reinterprets a posting row as its int32 representation;
+// posting is exactly two int32 fields, so the layouts coincide.
+func postingWords(row []posting) []int32 {
+	if len(row) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&row[0])), len(row)*2)
+}
+
+// OpenSection reconstructs an Index whose rows alias the section bytes.
+// One scan validates node ranges and per-row ordering (ascending node IDs,
+// the invariant the binary-search probes rely on); nothing is copied.
+func OpenSection(g *lgraph.LGraph, data []byte) (pathindex.Index, error) {
+	d := storage.NewSectionData(data)
+	n := int(d.U32())
+	total := int(d.U32())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if n != g.NumNodes() {
+		return nil, fmt.Errorf("tc: section has %d nodes, graph %d", n, g.NumNodes())
+	}
+	if int64(total) > int64(n)*int64(n) {
+		return nil, fmt.Errorf("tc: %d postings for %d nodes", total, n)
+	}
+	offs := d.PrefixOffsets(n, uint32(total))
+	d.Align(8)
+	flat := d.I32s(2 * total)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	var pairs []posting
+	if total > 0 {
+		pairs = unsafe.Slice((*posting)(unsafe.Pointer(&flat[0])), total)
+	}
+	idx := &Index{g: g, fwd: make([][]posting, n)}
+	for u := 0; u < n; u++ {
+		row := pairs[offs[u]:offs[u+1]:offs[u+1]]
+		prev := int32(-1)
+		for _, p := range row {
+			if p.node <= prev || int(p.node) >= n || p.dist < 0 {
+				return nil, fmt.Errorf("tc: row %d corrupt at node %d", u, p.node)
+			}
+			prev = p.node
+		}
+		idx.fwd[u] = row
+	}
+	return idx, nil
+}

@@ -1,0 +1,264 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/dblp"
+	"repro/internal/flix"
+	"repro/internal/xmlgraph"
+)
+
+// compressSection is one row of the per-kind storage breakdown.
+type compressSection struct {
+	Kind     string  `json:"kind"`
+	Sections int     `json:"sections"`
+	Bytes    int64   `json:"bytes"`
+	RawBytes int64   `json:"rawBytes,omitempty"`
+	Ratio    float64 `json:"ratio,omitempty"`
+}
+
+// compressResult is the machine-readable record of the compress
+// experiment, written to BENCH_compress.json: sizes of all three persisted
+// forms, the per-section-kind breakdown of the compressed container, open
+// times, and the query hot path served from the heap build vs the raw and
+// the compressed mapping.
+type compressResult struct {
+	Experiment string `json:"experiment"`
+	Config     string `json:"config"`
+	Docs       int    `json:"docs"`
+	Elements   int    `json:"elements"`
+
+	V1Bytes  int64 `json:"v1Bytes"`
+	V2Bytes  int64 `json:"v2Bytes"`
+	V2CBytes int64 `json:"v2cBytes"`
+	// SizeRatioV2 is v2Bytes / v2cBytes — the tentpole acceptance metric
+	// (how much the compressed encodings shave off the raw container).
+	// SizeRatioV1 relates the compressed container to the varint v1 stream.
+	SizeRatioV2 float64 `json:"sizeRatioV2"`
+	SizeRatioV1 float64 `json:"sizeRatioV1"`
+
+	Sections []compressSection `json:"sections"`
+
+	V2OpenNs  int64 `json:"v2OpenNs"`
+	V2COpenNs int64 `json:"v2cOpenNs"`
+
+	Cases []hotpathCase `json:"cases"`
+	// LatencyRatio is compressed-mapped descendants ns/op over raw-mapped
+	// descendants ns/op: the probe-time price of the succinct encodings.
+	LatencyRatio float64 `json:"latencyRatio"`
+}
+
+// compressExperiment measures the compressed v2 sections end to end —
+// persist raw and compressed containers, verify the three backends answer
+// identically, then benchmark the hot path on all of them — and enforces
+// the acceptance bars: the compressed container must be at least minRatio
+// times smaller than the raw v2 one, mapped compressed probes may cost at
+// most maxLatency of the raw-mapped ones, and they must not allocate.  A
+// violation exits nonzero so CI can gate on it.
+func compressExperiment(docs int, seed int64, out string, minRatio, maxLatency float64) {
+	fmt.Println("=== Snapshot v2: compressed sections ===")
+	p := dblp.DefaultParams()
+	p.Docs = docs
+	p.Seed = seed
+	e := bench.NewExperiment(p)
+	ix, err := flix.Build(e.Coll, flix.Config{Kind: flix.Hybrid, PartitionSize: 5000})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dir, err := os.MkdirTemp("", "flixbench-compress-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	v1Path := filepath.Join(dir, "gen-000001.flix")
+	v2Path := filepath.Join(dir, "gen-000002.flix")
+	v2cPath := filepath.Join(dir, "gen-000003.flix")
+	writeWith := func(path string, write func(*os.File) error) int64 {
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := write(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return fi.Size()
+	}
+	r := compressResult{
+		Experiment: "compress",
+		Config:     ix.Config().Kind.String(),
+		Docs:       e.Coll.NumDocs(),
+		Elements:   e.Coll.NumNodes(),
+	}
+	r.V1Bytes = writeWith(v1Path, func(f *os.File) error { _, err := ix.WriteTo(f); return err })
+	r.V2Bytes = writeWith(v2Path, func(f *os.File) error { _, err := ix.WriteSnapshotV2(f); return err })
+	r.V2CBytes = writeWith(v2cPath, func(f *os.File) error {
+		_, err := ix.WriteSnapshotV2With(f, flix.SnapshotV2Options{Compress: true})
+		return err
+	})
+	r.SizeRatioV2 = float64(r.V2Bytes) / float64(r.V2CBytes)
+	r.SizeRatioV1 = float64(r.V1Bytes) / float64(r.V2CBytes)
+	fmt.Printf("snapshot size: v1 %s, v2 raw %s, v2 compressed %s (%.2fx vs raw v2, %.2fx vs v1)\n",
+		bench.FormatBytes(r.V1Bytes), bench.FormatBytes(r.V2Bytes), bench.FormatBytes(r.V2CBytes),
+		r.SizeRatioV2, r.SizeRatioV1)
+
+	timeOpen := func(path string) int64 {
+		best := int64(0)
+		for i := 0; i < 5; i++ {
+			t0 := time.Now()
+			lx, err := flix.OpenSnapshot(e.Coll, path)
+			el := time.Since(t0).Nanoseconds()
+			if err != nil {
+				log.Fatal(err)
+			}
+			lx.Close()
+			if best == 0 || el < best {
+				best = el
+			}
+		}
+		return best
+	}
+	r.V2OpenNs = timeOpen(v2Path)
+	r.V2COpenNs = timeOpen(v2cPath)
+	fmt.Printf("mmap open: raw %s, compressed %s\n",
+		time.Duration(r.V2OpenNs).Round(time.Microsecond),
+		time.Duration(r.V2COpenNs).Round(time.Microsecond))
+
+	rawIx, err := flix.OpenSnapshot(e.Coll, v2Path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rawIx.Close()
+	compIx, err := flix.OpenSnapshot(e.Coll, v2cPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer compIx.Close()
+
+	si := compIx.StorageInfo()
+	if !si.Compressed {
+		log.Fatal("acceptance: compressed snapshot opened with StorageInfo.Compressed = false")
+	}
+	for _, st := range si.Sections {
+		r.Sections = append(r.Sections, compressSection{
+			Kind: st.Kind, Sections: st.Sections, Bytes: st.Bytes, RawBytes: st.RawBytes, Ratio: st.Ratio,
+		})
+		line := fmt.Sprintf("  section %-8s ×%-4d %10s", st.Kind, st.Sections, bench.FormatBytes(st.Bytes))
+		if st.RawBytes > 0 {
+			line += fmt.Sprintf("  (raw %s, %.2fx)", bench.FormatBytes(st.RawBytes), st.Ratio)
+		}
+		fmt.Println(line)
+	}
+
+	// Differential check before timing anything: the heap build, the raw
+	// mapping and the compressed mapping must answer identically.
+	drop := func(flix.Result) bool { return true }
+	opts := flix.Options{MaxResults: 100}
+	step := e.Coll.NumNodes()/97 + 1
+	for s := 0; s < e.Coll.NumNodes(); s += step {
+		start := xmlgraph.NodeID(s)
+		for _, tag := range []string{"article", "author", ""} {
+			var hb, rb, cb []byte
+			for _, x := range []struct {
+				ix *flix.Index
+				b  *[]byte
+			}{{ix, &hb}, {rawIx, &rb}, {compIx, &cb}} {
+				buf := []byte{}
+				x.ix.Descendants(start, tag, flix.Options{MaxResults: 20}, func(res flix.Result) bool {
+					buf = append(buf, byte(res.Node), byte(res.Node>>8), byte(res.Node>>16), byte(res.Dist))
+					return true
+				})
+				*x.b = buf
+			}
+			if string(hb) != string(rb) || string(hb) != string(cb) {
+				log.Fatalf("acceptance: backends diverge at start %d tag %q", s, tag)
+			}
+		}
+	}
+	fmt.Println("differential parity: heap == mapped-raw == mapped-compressed")
+
+	connTarget := xmlgraph.NodeID((int(e.Start) + 1000) % e.Coll.NumNodes())
+	measure := func(name string, op func()) hotpathCase {
+		for i := 0; i < 3; i++ {
+			op() // warm pools, tag postings, lazy structures
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				op()
+			}
+		})
+		c := hotpathCase{
+			Name:        name,
+			NsPerOp:     res.NsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+		fmt.Printf("%-28s %12d ns/op %8d B/op %6d allocs/op\n",
+			c.Name, c.NsPerOp, c.BytesPerOp, c.AllocsPerOp)
+		return c
+	}
+	cases := []hotpathCase{
+		measure("descendants-heap", func() {
+			ix.Descendants(e.Start, "article", opts, drop)
+		}),
+		measure("descendants-mmap-raw", func() {
+			rawIx.Descendants(e.Start, "article", opts, drop)
+		}),
+		measure("descendants-mmap-comp", func() {
+			compIx.Descendants(e.Start, "article", opts, drop)
+		}),
+		measure("connected-mmap-raw", func() {
+			rawIx.Connected(e.Start, connTarget, 0)
+		}),
+		measure("connected-mmap-comp", func() {
+			compIx.Connected(e.Start, connTarget, 0)
+		}),
+	}
+	r.Cases = cases
+	byName := map[string]hotpathCase{}
+	for _, c := range cases {
+		byName[c.Name] = c
+	}
+	r.LatencyRatio = float64(byName["descendants-mmap-comp"].NsPerOp) /
+		float64(byName["descendants-mmap-raw"].NsPerOp)
+	fmt.Printf("query ns/op compressed/raw ratio: %.2f\n", r.LatencyRatio)
+
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", out)
+
+	if minRatio > 0 && r.SizeRatioV2 < minRatio {
+		log.Fatalf("acceptance: compressed container is only %.2fx smaller than raw v2 (bar %.1fx)",
+			r.SizeRatioV2, minRatio)
+	}
+	if maxLatency > 0 && r.LatencyRatio > maxLatency {
+		log.Fatalf("acceptance: compressed probes cost %.2fx the raw-mapped ones (bar %.2fx)",
+			r.LatencyRatio, maxLatency)
+	}
+	for _, name := range []string{"descendants-mmap-comp", "connected-mmap-comp"} {
+		if a := byName[name].AllocsPerOp; a != 0 {
+			log.Fatalf("acceptance: %s allocated %d allocs/op, want 0", name, a)
+		}
+	}
+	fmt.Println()
+}

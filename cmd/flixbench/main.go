@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	flixbench [-docs 6210] [-seed 42] [-exp all|table1|figure5|errors|conn|scale|hetero|serving|build|swap|hotpath|shard|dtrace|topk|mmap]
+//	flixbench [-docs 6210] [-seed 42] [-exp all|table1|figure5|errors|conn|scale|hetero|serving|build|swap|hotpath|shard|dtrace|topk|mmap|compress]
 //
 // The scale and hetero experiments go beyond the paper's evaluation and
 // cover its §7 future work: scalability with growing collections and
@@ -34,7 +34,7 @@ func main() {
 	log.SetPrefix("flixbench: ")
 	docs := flag.Int("docs", 6210, "number of publication documents (paper: 6210)")
 	seed := flag.Int64("seed", 42, "generator seed")
-	exp := flag.String("exp", "all", "experiment: all | table1 | figure5 | errors | conn | scale | hetero | serving | build | swap | hotpath | shard | dtrace | topk | mmap")
+	exp := flag.String("exp", "all", "experiment: all | table1 | figure5 | errors | conn | scale | hetero | serving | build | swap | hotpath | shard | dtrace | topk | mmap | compress")
 	pairs := flag.Int("pairs", 200, "connection-test pairs")
 	closure := flag.Bool("closure", false, "also build the full transitive closure as the Table 1 size reference (slow)")
 	servingOut := flag.String("serving-out", "BENCH_serving.json", "output file for the serving experiment's machine-readable results")
@@ -51,6 +51,9 @@ func main() {
 	topkAllocRatio := flag.Float64("topk-alloc-ratio", 10, "minimum top-k allocation reduction over the frozen reference the topk experiment accepts (0 disables)")
 	mmapOut := flag.String("mmap-out", "BENCH_mmap.json", "output file for the mmap experiment's machine-readable results")
 	mmapOverhead := flag.Float64("mmap-overhead", 0.5, "maximum fraction of the shared decomposition time the v2 open may add on top (0 disables; the v1 parse typically adds far more)")
+	compressOut := flag.String("compress-out", "BENCH_compress.json", "output file for the compress experiment's machine-readable results")
+	compressRatio := flag.Float64("compress-ratio", 4, "minimum size reduction over the raw v2 container the compress experiment accepts (0 disables)")
+	compressLatency := flag.Float64("compress-latency", 1.3, "maximum mapped-probe latency ratio (compressed over raw) the compress experiment accepts (0 disables)")
 	flag.Parse()
 
 	run := map[string]bool{}
@@ -92,6 +95,9 @@ func main() {
 	}
 	if run["mmap"] {
 		mmapExperiment(*docs, *seed, *mmapOut, *mmapOverhead)
+	}
+	if run["compress"] {
+		compressExperiment(*docs, *seed, *compressOut, *compressRatio, *compressLatency)
 	}
 	if !run["table1"] && !run["figure5"] && !run["errors"] && !run["conn"] {
 		return

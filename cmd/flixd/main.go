@@ -9,7 +9,7 @@
 //	      [-timeout 2s] [-cache 1024] [-slow-query 100ms]
 //	      [-slow-query-sample 10] [-debug-addr :6060]
 //	      [-reindex-interval 0] [-snapshot-dir gens/] [-snapshot-retain 3]
-//	      [-snapshot-format v1|v2] [-mmap]
+//	      [-snapshot-format v1|v2] [-snapshot-compress] [-mmap]
 //	      [-shard-id 0 -shard-count 3 [-shard-vnodes 64]]
 //
 // Endpoints (see internal/server):
@@ -30,8 +30,11 @@
 // -snapshot-format selects the persisted layout: "v1" is the portable
 // stream, "v2" the offset-based container that warm start serves straight
 // from a read-only memory mapping (-mmap, default on) with no parse step.
-// Warm start and -load sniff the format per file, so either binary setting
-// reads both.
+// -snapshot-compress writes v2 sections in their compressed encodings
+// (bit-packed PPO intervals, delta-packed HOPI labels), falling back to
+// raw per section when compression would not pay; compressed snapshots are
+// served zero-copy just like raw ones.  Warm start and -load sniff the
+// format per file, so either binary setting reads both.
 //
 // With -shard-id/-shard-count the process runs as one shard of a
 // flixd-router cluster: it builds the same full index, additionally serves
@@ -90,6 +93,7 @@ func main() {
 		snapDir  = flag.String("snapshot-dir", "", "persist each index generation here and warm-start from the newest (empty disables)")
 		snapKeep = flag.Int("snapshot-retain", 3, "generation snapshots to keep in -snapshot-dir")
 		snapFmt  = flag.String("snapshot-format", "v1", "persisted snapshot layout: v1 (portable stream) | v2 (mmap-able container)")
+		snapZip  = flag.Bool("snapshot-compress", false, "persist v2 snapshots with compressed section encodings (requires -snapshot-format v2)")
 		useMmap  = flag.Bool("mmap", true, "serve v2 snapshots from a read-only memory mapping instead of reading them into the heap")
 		shardID  = flag.Int("shard-id", -1, "run as shard N of a flixd-router cluster (-1 disables shard mode)")
 		shardN   = flag.Int("shard-count", 0, "total shards in the cluster (required with -shard-id)")
@@ -105,6 +109,9 @@ func main() {
 	}
 	if *snapFmt != "v1" && *snapFmt != "v2" {
 		log.Fatalf("-snapshot-format %q: want v1 or v2", *snapFmt)
+	}
+	if *snapZip && *snapFmt != "v2" {
+		log.Fatalf("-snapshot-compress requires -snapshot-format v2")
 	}
 
 	loader := flix.NewLoader()
@@ -189,13 +196,14 @@ func main() {
 		gen := s.Install(ix, "initial index")
 		log.Printf("generation %d live", gen)
 		mgr := rebuild.New(coll, s, rebuild.Config{
-			Interval:       *reindex,
-			MinQueries:     *minQ,
-			Parallelism:    *buildPar,
-			SnapshotDir:    *snapDir,
-			Retain:         *snapKeep,
-			SnapshotFormat: *snapFmt,
-			Logger:         log.Default(),
+			Interval:         *reindex,
+			MinQueries:       *minQ,
+			Parallelism:      *buildPar,
+			SnapshotDir:      *snapDir,
+			Retain:           *snapKeep,
+			SnapshotFormat:   *snapFmt,
+			SnapshotCompress: *snapZip,
+			Logger:           log.Default(),
 		})
 		s.SetReindexer(mgr)
 		if *reindex > 0 {

@@ -176,6 +176,25 @@ func (r *evalRun) visit(n, ld int32) bool {
 	return true
 }
 
+// linkVisit handles one reachable runtime-link source streamed from the
+// batched pathindex.LinkDistances sweep: it pushes the link targets at
+// priority dist(e) + dist(e, l) + 1.  Like visit it is a method bound once
+// per scratch lifetime so the link-follow loop allocates nothing.
+func (r *evalRun) linkVisit(i int, d int32) bool {
+	nd := r.dist + d + 1
+	if r.opts.MaxDist > 0 && nd > r.opts.MaxDist {
+		return true
+	}
+	for _, cl := range r.md.LinksFrom(r.md.LinkSources[i]) {
+		r.s.f.push(pqItem{dist: nd, node: cl.To})
+		r.linkHops++
+		if r.tr != nil {
+			r.tr.LinkHop(r.mi, int64(cl.To), nd)
+		}
+	}
+	return true
+}
+
 // emit forwards one result to the client callback and enforces MaxResults.
 func (r *evalRun) emit(res Result) bool {
 	if !r.fn(res) {
@@ -281,12 +300,12 @@ func (ix *Index) evaluate(s *evalScratch, tag string, opts Options, fn Emit) {
 			// still follow links below.
 			probe = localTag != lgraph.NoTag
 		}
+		// Arm the per-pop context visit and linkVisit read.  prev is the
+		// pre-append entry list: results below an *earlier* entry point
+		// were already reported, the current entry covers the probe
+		// itself.
+		r.dist, r.mi, r.prev, r.md, r.idx = it.dist, mi, prev, md, idx
 		if probe {
-			// Arm the per-pop context visit reads.  prev is the
-			// pre-append entry list: results below an *earlier* entry
-			// point were already reported, the current entry covers the
-			// probe itself.
-			r.dist, r.mi, r.prev, r.md, r.idx = it.dist, mi, prev, md, idx
 			// Probe timing is only measured when a tracer is attached;
 			// the extra clock reads stay off the untraced hot path.
 			var probeStart time.Time
@@ -307,22 +326,14 @@ func (ix *Index) evaluate(s *evalScratch, tag string, opts Options, fn Emit) {
 			}
 		}
 
-		// (3) follow reachable runtime links.
-		for _, ls := range md.LinkSources {
-			d, ok := idx.Distance(le, ls)
-			if !ok {
-				continue
-			}
-			nd := it.dist + d + 1
-			if opts.MaxDist > 0 && nd > opts.MaxDist {
-				continue
-			}
-			for _, cl := range md.LinksFrom(ls) {
-				s.f.push(pqItem{dist: nd, node: cl.To})
-				r.linkHops++
-				if r.tr != nil {
-					r.tr.LinkHop(mi, int64(cl.To), nd)
-				}
+		// (3) follow reachable runtime links — via the precomputed
+		// per-meta-document table when the index has one (source columns
+		// decoded once at build/open), else the batched distance sweep.
+		if len(md.LinkSources) > 0 {
+			if lt := ix.linkTabs[mi]; lt != nil {
+				lt.LinkDistancesTo(le, s.linkFn)
+			} else {
+				pathindex.LinkDistances(idx, le, md.LinkSources, s.linkFn)
 			}
 		}
 	}

@@ -144,6 +144,20 @@ type Index struct {
 	snap   *storage.Snapshot
 	format string
 
+	// linkTabs[mi] is the per-meta-document link-distance table (nil when
+	// the meta document has no runtime-link sources or its index has no
+	// accelerated form): the source-side columns of the distance test,
+	// decoded once at build/open so the evaluator's link-follow loop —
+	// the hottest per-pop work after the probe itself — sweeps dense
+	// plain arrays instead of re-extracting packed values every pop.
+	linkTabs []pathindex.LinkTable
+
+	// secRaw holds the pre-compression byte size of each snapshot section
+	// (parallel to snap's meta sections; 0 = unknown), parsed from the
+	// manifest trailer of compressed snapshots.  StorageInfo turns it into
+	// per-kind compression ratios.
+	secRaw []int64
+
 	// scratch pools evalScratch values for the query hot path.  It is
 	// per-Index so the dense entered table is sized once and live
 	// generation swaps stay safe: each generation drains its own pool.
@@ -208,7 +222,18 @@ func BuildWithOptions(c *xmlgraph.Collection, cfg Config, opts BuildOptions) (*I
 	if err := ix.buildIndexes(preferred, opts.Parallelism); err != nil {
 		return nil, err
 	}
+	ix.buildLinkTables()
 	return ix, nil
+}
+
+// buildLinkTables precomputes the per-meta-document link-distance tables.
+// Every constructor (heap build, v1 stream, v2 snapshot) calls it once the
+// pis are in place.
+func (ix *Index) buildLinkTables() {
+	ix.linkTabs = make([]pathindex.LinkTable, len(ix.pis))
+	for i, md := range ix.set.Metas {
+		ix.linkTabs[i] = pathindex.NewLinkTable(ix.pis[i], md.LinkSources)
+	}
 }
 
 // workerStats is one build worker's private aggregate.  Workers never share

@@ -39,6 +39,7 @@ type evalScratch struct {
 	// index probe with no per-entry allocation.
 	visitFn func(n, ld int32) bool
 	emitFn  func(Result) bool
+	linkFn  func(i int, d int32) bool
 }
 
 // getScratch checks a scratch out of the index's pool, allocating and
@@ -53,6 +54,7 @@ func (ix *Index) getScratch() *evalScratch {
 		s.run.s = s
 		s.visitFn = s.run.visit
 		s.emitFn = s.run.emit
+		s.linkFn = s.run.linkVisit
 	}
 	if len(s.entered) < len(ix.set.Metas) {
 		s.entered = make([][]int32, len(ix.set.Metas))

@@ -71,8 +71,13 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	return total, nil
 }
 
-// SizeBytes measures the serialized index size.
+// SizeBytes measures the on-disk size of the index in its persisted form:
+// the actual container size for a snapshot-backed index (v2, compressed or
+// not), or the serialized v1 stream length for a heap-built one.
 func (ix *Index) SizeBytes() (int64, error) {
+	if ix.snap != nil {
+		return ix.snap.Size(), nil
+	}
 	return ix.WriteTo(io.Discard)
 }
 
@@ -176,5 +181,9 @@ func Load(c *xmlgraph.Collection, r io.Reader) (*Index, error) {
 			}
 		}
 	}
-	return ix, sr.Err()
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	ix.buildLinkTables()
+	return ix, nil
 }

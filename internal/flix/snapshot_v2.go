@@ -35,7 +35,34 @@ var ErrSnapshotCorrupt = storage.ErrCorrupt
 // memory-mapped file: fixed-width arrays are used in place and varint runs
 // are decoded lazily per probe.
 func (ix *Index) WriteSnapshotV2(w io.Writer) (int64, error) {
-	sw := storage.NewSnapshotWriter(w)
+	return ix.WriteSnapshotV2With(w, SnapshotV2Options{})
+}
+
+// SnapshotV2Options tunes WriteSnapshotV2With.
+type SnapshotV2Options struct {
+	// Compress emits compressed section encodings (succinct bit-packed PPO
+	// intervals, delta-packed HOPI labels) for every per-meta index that
+	// supports one.  Each section is encoded both ways and the compressed
+	// form is kept only when it is at most CompressRatio of the raw size —
+	// so incompressible sections (APEX, transitive closure) fall back to
+	// their raw encoding per section, recorded in the manifest.
+	Compress bool
+	// CompressRatio is the keep threshold (compressed ≤ ratio·raw);
+	// 0 means the default of 0.9.
+	CompressRatio float64
+}
+
+// defaultCompressRatio rejects compressed encodings that shave off less
+// than 10%: below that the denser codec is not worth the extra probe work.
+const defaultCompressRatio = 0.9
+
+// writeManifest emits the manifest section.  rawLens, present only in
+// compressed snapshots, appends a trailer recording each section's
+// pre-compression size (0 = unknown / already compressed at build): a
+// uvarint trailer version followed by one uvarint per meta document.
+// Raw-mode output carries no trailer and stays byte-identical to what
+// earlier writers produced.
+func (ix *Index) writeManifest(sw *storage.SnapshotWriter, rawLens []int64) {
 	sw.Begin(storage.SectionManifest)
 	sw.Varint(int64(ix.cfg.Kind))
 	sw.Varint(int64(ix.cfg.PartitionSize))
@@ -49,14 +76,81 @@ func (ix *Index) WriteSnapshotV2(w io.Writer) (int64, error) {
 		sw.Uvarint(uint64(len(md.OutLinks)))
 		sw.U64(linkHash(md))
 	}
+	if rawLens != nil {
+		sw.Uvarint(manifestTrailerV1)
+		for _, n := range rawLens {
+			sw.Uvarint(uint64(n))
+		}
+	}
 	sw.End()
+}
+
+// manifestTrailerV1 versions the optional manifest trailer.
+const manifestTrailerV1 = 1
+
+// WriteSnapshotV2With is WriteSnapshotV2 with explicit options.
+func (ix *Index) WriteSnapshotV2With(w io.Writer, opts SnapshotV2Options) (int64, error) {
+	sw := storage.NewSnapshotWriter(w)
+	if !opts.Compress {
+		// The streaming raw path: byte-identical to earlier writers.
+		ix.writeManifest(sw, nil)
+		for i, p := range ix.pis {
+			enc, ok := p.(storage.SectionEncoder)
+			if !ok {
+				return sw.Offset(), fmt.Errorf("flix: meta %d: %s index cannot encode a v2 section", i, p.Name())
+			}
+			sw.Begin(enc.SectionKind())
+			enc.EncodeSection(sw)
+			sw.End()
+		}
+		return sw.Finish()
+	}
+
+	ratio := opts.CompressRatio
+	if ratio == 0 {
+		ratio = defaultCompressRatio
+	}
+	// Compressed sections are chosen per section by measured ratio, and the
+	// manifest (which precedes them in the file) records the raw sizes — so
+	// encode every body up front, then stream the container.
+	type section struct {
+		kind uint32
+		body []byte
+	}
+	secs := make([]section, len(ix.pis))
+	rawLens := make([]int64, len(ix.pis))
 	for i, p := range ix.pis {
 		enc, ok := p.(storage.SectionEncoder)
 		if !ok {
-			return sw.Offset(), fmt.Errorf("flix: meta %d: %s index cannot encode a v2 section", i, p.Name())
+			return 0, fmt.Errorf("flix: meta %d: %s index cannot encode a v2 section", i, p.Name())
 		}
-		sw.Begin(enc.SectionKind())
-		enc.EncodeSection(sw)
+		body, err := storage.EncodeSectionBody(enc.EncodeSection)
+		if err != nil {
+			return 0, fmt.Errorf("flix: meta %d: %w", i, err)
+		}
+		secs[i] = section{kind: enc.SectionKind(), body: body}
+		if storage.IsCompressedKind(secs[i].kind) {
+			// Already compressed (re-persisting an open compressed
+			// snapshot); the original raw size is unknown.
+			continue
+		}
+		cenc, ok := p.(storage.CompressedSectionEncoder)
+		if !ok {
+			continue
+		}
+		comp, err := storage.EncodeSectionBody(cenc.EncodeCompressedSection)
+		if err != nil {
+			return 0, fmt.Errorf("flix: meta %d: %w", i, err)
+		}
+		if float64(len(comp)) <= ratio*float64(len(body)) {
+			rawLens[i] = int64(len(body))
+			secs[i] = section{kind: cenc.CompressedSectionKind(), body: comp}
+		}
+	}
+	ix.writeManifest(sw, rawLens)
+	for _, sec := range secs {
+		sw.Begin(sec.kind)
+		sw.Raw(sec.body)
 		sw.End()
 	}
 	return sw.Finish()
@@ -177,6 +271,21 @@ func openSnapshot(c *xmlgraph.Collection, snap *storage.Snapshot) (*Index, error
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
+	// Compressed snapshots append a trailer with the pre-compression size
+	// of each section; raw snapshots end right after the fingerprints.
+	var secRaw []int64
+	if d.Remaining() > 0 {
+		if v := d.Uvarint(); v != manifestTrailerV1 {
+			return nil, fmt.Errorf("%w: unknown manifest trailer version %d", ErrSnapshotCorrupt, v)
+		}
+		secRaw = make([]int64, nMetas)
+		for i := range secRaw {
+			secRaw[i] = int64(d.Uvarint())
+		}
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+	}
 
 	set, err := decompose(c, cfg)
 	if err != nil {
@@ -186,13 +295,20 @@ func openSnapshot(c *xmlgraph.Collection, snap *storage.Snapshot) (*Index, error
 		return nil, fmt.Errorf("flix: snapshot has %d meta documents, collection yields %d — wrong collection?",
 			nMetas, len(set.Metas))
 	}
-	ix := &Index{coll: c, set: set, cfg: cfg, pis: make([]pathindex.Index, nMetas), snap: snap, format: "v2"}
+	ix := &Index{coll: c, set: set, cfg: cfg, pis: make([]pathindex.Index, nMetas), snap: snap, format: "v2", secRaw: secRaw}
 	for i, md := range set.Metas {
 		fp := fps[i]
 		if fp.nodes != md.Graph.NumNodes() || fp.links != len(md.OutLinks) || fp.hash != linkHash(md) {
 			return nil, fmt.Errorf("flix: meta %d: snapshot fingerprint mismatch — wrong collection?", i)
 		}
 		sec := snap.Section(i + 1)
+		// A compressed section must be no larger than the raw size the
+		// manifest declares for it — a mismatch means one of the two was
+		// tampered with.
+		if secRaw != nil && storage.IsCompressedKind(sec.Kind) && secRaw[i] != 0 && secRaw[i] < int64(len(sec.Data)) {
+			return nil, fmt.Errorf("%w: meta %d: compressed section (%d bytes) exceeds declared raw size %d",
+				ErrSnapshotCorrupt, i, len(sec.Data), secRaw[i])
+		}
 		open, ok := meta.SectionOpeners[sec.Kind]
 		if !ok {
 			return nil, fmt.Errorf("%w: meta %d: unknown section kind %d", ErrSnapshotCorrupt, i, sec.Kind)
@@ -203,6 +319,7 @@ func openSnapshot(c *xmlgraph.Collection, snap *storage.Snapshot) (*Index, error
 		}
 		ix.pis[i] = idx
 	}
+	ix.buildLinkTables()
 	return ix, nil
 }
 
@@ -248,6 +365,28 @@ type StorageInfo struct {
 	Mapped bool
 	// MappedBytes is the size of the mapping (0 when not mapped).
 	MappedBytes int64
+	// SizeBytes is the on-disk size of the backing snapshot container, or
+	// 0 when the index is not snapshot-backed.
+	SizeBytes int64
+	// Compressed reports whether any section uses a compressed encoding.
+	Compressed bool
+	// Sections breaks the snapshot down by section kind.
+	Sections []SectionStat
+}
+
+// SectionStat aggregates the snapshot sections of one kind.
+type SectionStat struct {
+	// Kind names the section kind ("manifest", "ppo", "ppo-c", ...).
+	Kind string
+	// Sections counts sections of this kind.
+	Sections int
+	// Bytes is their total on-disk payload size.
+	Bytes int64
+	// RawBytes is the total pre-compression size of the compressed
+	// sections among them whose raw size the manifest records.
+	RawBytes int64
+	// Ratio is RawBytes/Bytes for those sections (0 when not applicable).
+	Ratio float64
 }
 
 // StorageInfo reports how the index is backed; /statsz surfaces it.
@@ -256,9 +395,40 @@ func (ix *Index) StorageInfo() StorageInfo {
 	if si.Format == "" {
 		si.Format = "heap"
 	}
-	if ix.snap != nil && ix.snap.Mapped() {
+	if ix.snap == nil {
+		return si
+	}
+	if ix.snap.Mapped() {
 		si.Mapped = true
 		si.MappedBytes = ix.snap.Size()
+	}
+	si.SizeBytes = ix.snap.Size()
+	byKind := map[string]*SectionStat{}
+	var order []string
+	for i := 0; i < ix.snap.NumSections(); i++ {
+		sec := ix.snap.Section(i)
+		name := storage.SectionKindName(sec.Kind)
+		st := byKind[name]
+		if st == nil {
+			st = &SectionStat{Kind: name}
+			byKind[name] = st
+			order = append(order, name)
+		}
+		st.Sections++
+		st.Bytes += int64(len(sec.Data))
+		if storage.IsCompressedKind(sec.Kind) {
+			si.Compressed = true
+			if i > 0 && ix.secRaw != nil && ix.secRaw[i-1] != 0 {
+				st.RawBytes += ix.secRaw[i-1]
+			}
+		}
+	}
+	for _, name := range order {
+		st := byKind[name]
+		if st.RawBytes > 0 && st.Bytes > 0 {
+			st.Ratio = float64(st.RawBytes) / float64(st.Bytes)
+		}
+		si.Sections = append(si.Sections, *st)
 	}
 	return si
 }

@@ -421,6 +421,18 @@ func FuzzOpenSnapshot(f *testing.F) {
 			}
 		}
 	}
+	// The compressed fixture seeds the packed-directory and manifest-trailer
+	// validation paths, with a resealed flip in its first compressed payload.
+	if raw, err := os.ReadFile(goldenV2CPath); err == nil {
+		f.Add(raw)
+		if len(raw) > 200 {
+			mut := bytes.Clone(raw)
+			mut[150] ^= 0x10
+			if storage.Reseal(mut) == nil {
+				f.Add(mut)
+			}
+		}
+	}
 	f.Add([]byte(storage.SnapshotMagic))
 	f.Add([]byte("FLIX\x04flix"))
 	coll := goldenCollection()

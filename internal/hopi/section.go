@@ -98,8 +98,14 @@ type View struct {
 	n   int32
 	raw []byte // whole section, for EncodeSection passthrough
 
-	inOff, outOff       []uint32
-	hubInOff, hubOutOff []uint32
+	// kind and tight select the codec: SectionHOPI serves plain u32
+	// offset tables and the loose varint runs, SectionHOPIC (csection.go)
+	// serves bit-packed offset tables and the prefix-truncated runs.
+	kind  uint32
+	tight bool
+
+	inOff, outOff       offTab
+	hubInOff, hubOutOff offTab
 	inB, outB           []byte
 	hubInB, hubOutB     []byte
 
@@ -134,11 +140,11 @@ func OpenSection(g *lgraph.LGraph, data []byte) (pathindex.Index, error) {
 	if n != g.NumNodes() {
 		return nil, fmt.Errorf("hopi: section has %d nodes, graph %d", n, g.NumNodes())
 	}
-	v := &View{g: g, n: int32(n), raw: data}
-	v.inOff = d.PrefixOffsets(n, uint32(inLen))
-	v.outOff = d.PrefixOffsets(n, uint32(outLen))
-	v.hubInOff = d.PrefixOffsets(n, uint32(hubInLen))
-	v.hubOutOff = d.PrefixOffsets(n, uint32(hubOutLen))
+	v := &View{g: g, n: int32(n), raw: data, kind: storage.SectionHOPI}
+	v.inOff = offTab{raw: d.PrefixOffsets(n, uint32(inLen))}
+	v.outOff = offTab{raw: d.PrefixOffsets(n, uint32(outLen))}
+	v.hubInOff = offTab{raw: d.PrefixOffsets(n, uint32(hubInLen))}
+	v.hubOutOff = offTab{raw: d.PrefixOffsets(n, uint32(hubOutLen))}
 	v.inB = d.Bytes(inLen)
 	v.outB = d.Bytes(outLen)
 	v.hubInB = d.Bytes(hubInLen)
@@ -149,21 +155,55 @@ func OpenSection(g *lgraph.LGraph, data []byte) (pathindex.Index, error) {
 	return v, nil
 }
 
-// SectionKind implements storage.SectionEncoder.
-func (v *View) SectionKind() uint32 { return storage.SectionHOPI }
+// SectionKind implements storage.SectionEncoder: the kind the View was
+// opened as, so re-persisting keeps the same encoding.
+func (v *View) SectionKind() uint32 { return v.kind }
 
 // EncodeSection re-emits the section the View was opened from, verbatim —
 // re-snapshotting an mmap-backed generation is a byte copy.
 func (v *View) EncodeSection(sw *storage.SnapshotWriter) { sw.Raw(v.raw) }
 
+// offTab is one per-node byte-offset table, either a zero-copy u32 view
+// (raw sections) or a bit-packed array (compressed sections).  Both forms
+// are validated monotonic and in-bounds at open time.
+type offTab struct {
+	raw    []uint32
+	packed storage.PackedI32
+}
+
+func (o *offTab) at(i int32) uint32 {
+	if o.raw != nil {
+		return o.raw[i]
+	}
+	return uint32(o.packed.At(i))
+}
+
 // run returns the raw byte run of element x in a blob.
-func run(offs []uint32, blob []byte, x int32) []byte {
-	return blob[offs[x]:offs[x+1]]
+func run(offs *offTab, blob []byte, x int32) []byte {
+	return blob[offs.at(x):offs.at(x+1)]
 }
 
 // nextLabel decodes one (hub, dist) label element; prev carries the hub
-// delta chain.
-func nextLabel(c *storage.Cursor, prev *int32) (hub, dist int32, ok bool) {
+// delta chain.  The tight codec folds distances 0..2 into the hub delta's
+// low bits (tag 3 escapes to an explicit uvarint) — 2-hop label distances
+// are almost always tiny, so most entries are one varint instead of two.
+func nextLabel(c *storage.Cursor, prev *int32, tight bool) (hub, dist int32, ok bool) {
+	if tight {
+		v, ok := c.Uvarint()
+		if !ok {
+			return 0, 0, false
+		}
+		*prev += int32(v >> 2)
+		d := int32(v & 3)
+		if d == 3 {
+			e, ok := c.Uvarint()
+			if !ok {
+				return 0, 0, false
+			}
+			d += int32(e)
+		}
+		return *prev, d, true
+	}
 	dh, ok := c.Uvarint()
 	if !ok {
 		return 0, 0, false
@@ -183,20 +223,20 @@ func (v *View) labelDist(xOut, yIn []byte) int32 {
 	ci := storage.Cursor{B: yIn}
 	var oprev, iprev int32
 	best := infinity
-	ohub, odist, ook := nextLabel(&co, &oprev)
-	ihub, idist, iok := nextLabel(&ci, &iprev)
+	ohub, odist, ook := nextLabel(&co, &oprev, v.tight)
+	ihub, idist, iok := nextLabel(&ci, &iprev, v.tight)
 	for ook && iok {
 		switch {
 		case ohub < ihub:
-			ohub, odist, ook = nextLabel(&co, &oprev)
+			ohub, odist, ook = nextLabel(&co, &oprev, v.tight)
 		case ohub > ihub:
-			ihub, idist, iok = nextLabel(&ci, &iprev)
+			ihub, idist, iok = nextLabel(&ci, &iprev, v.tight)
 		default:
 			if s := odist + idist; s >= 0 && s < best {
 				best = s
 			}
-			ohub, odist, ook = nextLabel(&co, &oprev)
-			ihub, idist, iok = nextLabel(&ci, &iprev)
+			ohub, odist, ook = nextLabel(&co, &oprev, v.tight)
+			ihub, idist, iok = nextLabel(&ci, &iprev, v.tight)
 		}
 	}
 	return best
@@ -210,12 +250,12 @@ func (v *View) NumNodes() int { return int(v.n) }
 
 // Reachable implements pathindex.Index.
 func (v *View) Reachable(x, y int32) bool {
-	return v.labelDist(run(v.outOff, v.outB, x), run(v.inOff, v.inB, y)) < infinity
+	return v.labelDist(run(&v.outOff, v.outB, x), run(&v.inOff, v.inB, y)) < infinity
 }
 
 // Distance implements pathindex.Index.
 func (v *View) Distance(x, y int32) (int32, bool) {
-	d := v.labelDist(run(v.outOff, v.outB, x), run(v.inOff, v.inB, y))
+	d := v.labelDist(run(&v.outOff, v.outB, x), run(&v.inOff, v.inB, y))
 	if d == infinity {
 		return 0, false
 	}
@@ -224,7 +264,7 @@ func (v *View) Distance(x, y int32) (int32, bool) {
 
 // EachReachable implements pathindex.Index.
 func (v *View) EachReachable(x int32, fn pathindex.Visit) {
-	v.eachVia(run(v.outOff, v.outB, x), v.hubInOff, v.hubInB, nil, fn)
+	v.eachVia(run(&v.outOff, v.outB, x), &v.hubInOff, v.hubInB, nil, fn)
 }
 
 // EachReachableByTag implements pathindex.Index.
@@ -232,12 +272,12 @@ func (v *View) EachReachableByTag(x int32, tag lgraph.Tag, fn pathindex.Visit) {
 	if tag == lgraph.NoTag {
 		return
 	}
-	v.eachVia(run(v.outOff, v.outB, x), nil, nil, v.taggedPostings(tag, false), fn)
+	v.eachVia(run(&v.outOff, v.outB, x), nil, nil, v.taggedPostings(tag, false), fn)
 }
 
 // EachReaching implements pathindex.Index.
 func (v *View) EachReaching(x int32, fn pathindex.Visit) {
-	v.eachVia(run(v.inOff, v.inB, x), v.hubOutOff, v.hubOutB, nil, fn)
+	v.eachVia(run(&v.inOff, v.inB, x), &v.hubOutOff, v.hubOutB, nil, fn)
 }
 
 // EachReachingByTag implements pathindex.Index.
@@ -245,25 +285,54 @@ func (v *View) EachReachingByTag(x int32, tag lgraph.Tag, fn pathindex.Visit) {
 	if tag == lgraph.NoTag {
 		return
 	}
-	v.eachVia(run(v.inOff, v.inB, x), nil, nil, v.taggedPostings(tag, true), fn)
+	v.eachVia(run(&v.inOff, v.inB, x), nil, nil, v.taggedPostings(tag, true), fn)
+}
+
+// nextPosting decodes one (dist, node) posting element; prevD/prevN carry
+// the delta chains.  The tight codec folds distance deltas 0..2 into the
+// zig-zag node delta's low bits with a tag-3 escape, mirroring the tight
+// label codec.
+func nextPosting(c *storage.Cursor, prevD, prevN *int32, tight bool) bool {
+	if tight {
+		v, ok := c.Uvarint()
+		if !ok {
+			return false
+		}
+		zz := v >> 2
+		*prevN += int32(int64(zz>>1) ^ -int64(zz&1))
+		dd := int32(v & 3)
+		if dd == 3 {
+			e, ok := c.Uvarint()
+			if !ok {
+				return false
+			}
+			dd += int32(e)
+		}
+		*prevD += dd
+		return true
+	}
+	dd, ok := c.Uvarint()
+	if !ok {
+		return false
+	}
+	dn, ok := c.Varint()
+	if !ok {
+		return false
+	}
+	*prevD += int32(dd)
+	*prevN += int32(dn)
+	return true
 }
 
 // decodePostings materializes one hub's posting run.
-func decodePostings(b []byte, n int32) []entry {
+func decodePostings(b []byte, n int32, tight bool) []entry {
 	c := storage.Cursor{B: b}
 	var out []entry
 	prevD, prevN := int32(0), int32(0)
 	for {
-		dd, ok := c.Uvarint()
-		if !ok {
+		if !nextPosting(&c, &prevD, &prevN, tight) {
 			return out
 		}
-		dn, ok := c.Varint()
-		if !ok {
-			return out
-		}
-		prevD += int32(dd)
-		prevN += int32(dn)
 		if prevN < 0 || prevN >= n || prevD < 0 {
 			return out
 		}
@@ -277,10 +346,10 @@ func (v *View) taggedPostings(tag lgraph.Tag, reverse bool) [][]entry {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	cache := &v.tagIn
-	offs, blob := v.hubInOff, v.hubInB
+	offs, blob := &v.hubInOff, v.hubInB
 	if reverse {
 		cache = &v.tagOut
-		offs, blob = v.hubOutOff, v.hubOutB
+		offs, blob = &v.hubOutOff, v.hubOutB
 	}
 	if *cache == nil {
 		*cache = make(map[lgraph.Tag][][]entry)
@@ -291,7 +360,7 @@ func (v *View) taggedPostings(tag lgraph.Tag, reverse bool) [][]entry {
 	filtered := make([][]entry, v.n)
 	for h := int32(0); h < v.n; h++ {
 		var keep []entry
-		for _, e := range decodePostings(run(offs, blob, h), v.n) {
+		for _, e := range decodePostings(run(offs, blob, h), v.n, v.tight) {
 			if v.g.Tag(e.hub) == tag {
 				keep = append(keep, e)
 			}
@@ -309,6 +378,7 @@ type vCursor struct {
 	c       storage.Cursor
 	entries []entry
 	epos    int
+	tight   bool  // raw-mode codec selector
 	prevD   int32 // raw-mode delta chains
 	prevN   int32
 	base    int32 // label distance added to every posting distance
@@ -329,16 +399,9 @@ func (vc *vCursor) advance(n int32) bool {
 		vc.node = e.hub
 		return true
 	}
-	dd, ok := vc.c.Uvarint()
-	if !ok {
+	if !nextPosting(&vc.c, &vc.prevD, &vc.prevN, vc.tight) {
 		return false
 	}
-	dn, ok := vc.c.Varint()
-	if !ok {
-		return false
-	}
-	vc.prevD += int32(dd)
-	vc.prevN += int32(dn)
 	if vc.prevN < 0 || vc.prevN >= n || vc.prevD < 0 {
 		return false
 	}
@@ -359,7 +422,7 @@ type viewScratch struct {
 // run names the hubs, each hub contributes one posting cursor, and a
 // hand-rolled min-heap merges them in ascending (dist, node) order with
 // epoch-based dedup.  Exactly one of (postOff, postB) and tagged is set.
-func (v *View) eachVia(label []byte, postOff []uint32, postB []byte, tagged [][]entry, fn pathindex.Visit) {
+func (v *View) eachVia(label []byte, postOff *offTab, postB []byte, tagged [][]entry, fn pathindex.Visit) {
 	ms, _ := v.merge.Get().(*viewScratch)
 	if ms == nil {
 		ms = &viewScratch{seen: make([]int64, v.n)}
@@ -370,14 +433,14 @@ func (v *View) eachVia(label []byte, postOff []uint32, postB []byte, tagged [][]
 	lc := storage.Cursor{B: label}
 	var prevHub int32
 	for {
-		hub, ldist, ok := nextLabel(&lc, &prevHub)
+		hub, ldist, ok := nextLabel(&lc, &prevHub, v.tight)
 		if !ok {
 			break
 		}
 		if hub < 0 || hub >= v.n || ldist < 0 {
 			break
 		}
-		vc := vCursor{base: ldist}
+		vc := vCursor{base: ldist, tight: v.tight}
 		if tagged != nil {
 			vc.entries = tagged[hub]
 		} else {
@@ -444,14 +507,14 @@ func vheapFix(h []vCursor, i int) {
 }
 
 // decodeLabels materializes one label blob back into per-node slices.
-func decodeLabels(offs []uint32, blob []byte, n int32) [][]entry {
+func decodeLabels(offs *offTab, blob []byte, n int32, tight bool) [][]entry {
 	labels := make([][]entry, n)
 	for x := int32(0); x < n; x++ {
 		c := storage.Cursor{B: run(offs, blob, x)}
 		var prev int32
 		var l []entry
 		for {
-			hub, dist, ok := nextLabel(&c, &prev)
+			hub, dist, ok := nextLabel(&c, &prev, tight)
 			if !ok {
 				break
 			}
@@ -480,7 +543,7 @@ func (v *View) WriteTo(w io.Writer) (int64, error) {
 			}
 		}
 	}
-	writeLabels(decodeLabels(v.inOff, v.inB, v.n))
-	writeLabels(decodeLabels(v.outOff, v.outB, v.n))
+	writeLabels(decodeLabels(&v.inOff, v.inB, v.n, v.tight))
+	writeLabels(decodeLabels(&v.outOff, v.outB, v.n, v.tight))
 	return sw.Flush()
 }

@@ -67,10 +67,12 @@ var Readers = map[string]pathindex.BodyReader{
 // opener that lays a zero-copy index view over the section bytes — the
 // mmap-era counterpart of Readers.
 var SectionOpeners = map[uint32]func(*lgraph.LGraph, []byte) (pathindex.Index, error){
-	storage.SectionPPO:  ppo.OpenSection,
-	storage.SectionHOPI: hopi.OpenSection,
-	storage.SectionAPEX: apex.OpenSection,
-	storage.SectionTC:   tc.OpenSection,
+	storage.SectionPPO:   ppo.OpenSection,
+	storage.SectionHOPI:  hopi.OpenSection,
+	storage.SectionAPEX:  apex.OpenSection,
+	storage.SectionTC:    tc.OpenSection,
+	storage.SectionPPOC:  ppo.OpenCompressedSection,
+	storage.SectionHOPIC: hopi.OpenCompressedSection,
 }
 
 // Select implements the Indexing Strategy Selector: it picks the optimal

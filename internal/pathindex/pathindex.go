@@ -41,6 +41,67 @@ type Index interface {
 	io.WriterTo
 }
 
+// LinkDistancer is an optional batched variant of Probe.Distance for the
+// evaluator's link-follow loop, which probes one fixed source element
+// against every runtime-link source of a meta document.  An index that
+// implements it can hoist the x-side of the reachability test out of the
+// loop — for the compressed PPO view that turns five packed-array
+// extractions per link source into at most two.  fn receives the position
+// of each reachable source in sources together with its distance from x;
+// returning false stops the sweep.  Unreachable sources are skipped.
+type LinkDistancer interface {
+	LinkDistances(x int32, sources []int32, fn func(i int, d int32) bool)
+}
+
+// LinkDistances dispatches to the index's batched fast path when it has
+// one and otherwise falls back to per-source Distance calls with identical
+// semantics.
+func LinkDistances(idx Index, x int32, sources []int32, fn func(i int, d int32) bool) {
+	if ld, ok := idx.(LinkDistancer); ok {
+		ld.LinkDistances(x, sources, fn)
+		return
+	}
+	for i, y := range sources {
+		if d, ok := idx.Distance(x, y); ok {
+			if !fn(i, d) {
+				return
+			}
+		}
+	}
+}
+
+// LinkTable accelerates LinkDistances for one FIXED source list.  A meta
+// document's runtime-link sources never change after the build, so an
+// index can decode the source-side columns of the distance test once —
+// at table construction — and serve every later sweep from dense plain
+// arrays.  For the compressed PPO view that removes the packed-array
+// extraction from the per-source inner loop entirely: the sweep costs the
+// same as over raw int32 slices, and only the probe-side constants are
+// extracted per call.
+type LinkTable interface {
+	// LinkDistancesTo behaves like LinkDistances(idx, x, sources, fn)
+	// for the source list the table was built over.
+	LinkDistancesTo(x int32, fn func(i int, d int32) bool)
+}
+
+// LinkTabler is implemented by indexes that can precompute a LinkTable.
+type LinkTabler interface {
+	LinkTable(sources []int32) LinkTable
+}
+
+// NewLinkTable returns idx's precomputed table over sources, or nil when
+// the list is empty or the index has no accelerated form — callers fall
+// back to LinkDistances.
+func NewLinkTable(idx Index, sources []int32) LinkTable {
+	if len(sources) == 0 {
+		return nil
+	}
+	if lt, ok := idx.(LinkTabler); ok {
+		return lt.LinkTable(sources)
+	}
+	return nil
+}
+
 // Builder constructs an Index for a local graph.  Builders may fail, e.g.
 // PPO refuses non-forest graphs.
 type Builder func(g *lgraph.LGraph) (Index, error)

@@ -251,6 +251,55 @@ func (idx *Index) Distance(x, y int32) (int32, bool) {
 	return idx.depth[y] - idx.depth[x], true
 }
 
+// LinkDistances implements pathindex.LinkDistancer: one fixed x is probed
+// against every link source, so x's interval bounds and depth are loaded
+// once outside the sweep.
+func (idx *Index) LinkDistances(x int32, sources []int32, fn func(i int, d int32) bool) {
+	px, postx, dx := idx.pre[x], idx.post[x], idx.depth[x]
+	for i, y := range sources {
+		if px <= idx.pre[y] && postx >= idx.post[y] {
+			if !fn(i, idx.depth[y]-dx) {
+				return
+			}
+		}
+	}
+}
+
+// linkTable is the pathindex.LinkTable of a heap/raw-mapped PPO index:
+// the source columns gathered into dense arrays (the sources are scattered
+// across the node range; gathering buys locality for the per-pop sweep).
+type linkTable struct {
+	idx            *Index
+	pre, post, dep []int32
+}
+
+// LinkTable implements pathindex.LinkTabler.
+func (idx *Index) LinkTable(sources []int32) pathindex.LinkTable {
+	t := &linkTable{
+		idx:  idx,
+		pre:  make([]int32, len(sources)),
+		post: make([]int32, len(sources)),
+		dep:  make([]int32, len(sources)),
+	}
+	for i, y := range sources {
+		t.pre[i], t.post[i], t.dep[i] = idx.pre[y], idx.post[y], idx.depth[y]
+	}
+	return t
+}
+
+// LinkDistancesTo implements pathindex.LinkTable.
+func (t *linkTable) LinkDistancesTo(x int32, fn func(i int, d int32) bool) {
+	idx := t.idx
+	px, postx, dx := idx.pre[x], idx.post[x], idx.depth[x]
+	for i, py := range t.pre {
+		if px <= py && postx >= t.post[i] {
+			if !fn(i, t.dep[i]-dx) {
+				return
+			}
+		}
+	}
+}
+
 // Depth returns the tree depth of x (roots have depth 0).
 func (idx *Index) Depth(x int32) int32 { return idx.depth[x] }
 
@@ -300,17 +349,20 @@ type distNode struct{ d, n int32 }
 // retained across probes so the steady state allocates nothing.
 type intervalScratch struct{ pairs []distNode }
 
-func (idx *Index) getInterval() *intervalScratch {
-	sc, _ := idx.scratch.Get().(*intervalScratch)
+func getInterval(pool *sync.Pool) *intervalScratch {
+	sc, _ := pool.Get().(*intervalScratch)
 	if sc == nil {
 		sc = &intervalScratch{}
 	}
 	return sc
 }
 
+func (idx *Index) getInterval() *intervalScratch { return getInterval(&idx.scratch) }
+
 // emitPairs sorts the collected pairs into ascending (distance, node) order,
-// streams them, and returns the scratch to the pool.
-func (idx *Index) emitPairs(sc *intervalScratch, fn pathindex.Visit) {
+// streams them, and returns the scratch to the pool.  Shared by the heap
+// index and the compressed section view (csection.go).
+func emitPairs(pool *sync.Pool, sc *intervalScratch, fn pathindex.Visit) {
 	slices.SortFunc(sc.pairs, func(a, b distNode) int {
 		if a.d != b.d {
 			return int(a.d) - int(b.d)
@@ -323,7 +375,11 @@ func (idx *Index) emitPairs(sc *intervalScratch, fn pathindex.Visit) {
 		}
 	}
 	sc.pairs = sc.pairs[:0]
-	idx.scratch.Put(sc)
+	pool.Put(sc)
+}
+
+func (idx *Index) emitPairs(sc *intervalScratch, fn pathindex.Visit) {
+	emitPairs(&idx.scratch, sc, fn)
 }
 
 // emitInterval emits nodes (given directly) in ascending (distance, node)

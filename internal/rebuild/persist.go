@@ -32,7 +32,7 @@ func (m *Manager) persist(ix *flix.Index, gen uint64) error {
 	defer os.Remove(tmp.Name()) //nolint:errcheck // no-op after the rename
 	switch m.cfg.SnapshotFormat {
 	case "v2":
-		_, err = ix.WriteSnapshotV2(tmp)
+		_, err = ix.WriteSnapshotV2With(tmp, flix.SnapshotV2Options{Compress: m.cfg.SnapshotCompress})
 	case "", "v1":
 		_, err = ix.WriteTo(tmp)
 	default:

@@ -96,6 +96,10 @@ type Config struct {
 	// no parse step).  Warm start sniffs the format per file, so the two
 	// can coexist in one SnapshotDir across a flag change.
 	SnapshotFormat string
+	// SnapshotCompress persists v2 snapshots with compressed section
+	// encodings (per-section, with raw fallback when compression does not
+	// pay).  Only meaningful with SnapshotFormat "v2".
+	SnapshotCompress bool
 	// Retain bounds how many generation snapshots are kept on disk.
 	// Default 3.
 	Retain int

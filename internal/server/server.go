@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -808,7 +809,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			"dupDropRatio":     snap.DupDropRatio(),
 		},
 		"latency": s.latencyJSON(g),
-		"build":   buildJSON(g.ix.BuildStats()),
+		"build":   buildJSON(g.ix),
 		"advice": map[string]any{
 			"rebuild": advice.Rebuild,
 			"reason":  advice.Reason,
@@ -854,11 +855,32 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 
 // storageJSON renders how the serving index is backed — "heap" for a
 // built generation, "v1"/"v2" for restored ones, with the mapping size
-// when the v2 container is served via mmap.
+// when the v2 container is served via mmap and a per-section-kind byte
+// breakdown (with compression ratios) for snapshot-backed generations.
 func storageJSON(si flix.StorageInfo) map[string]any {
 	out := map[string]any{"format": si.Format, "mapped": si.Mapped}
 	if si.Mapped {
 		out["mappedBytes"] = si.MappedBytes
+	}
+	if si.SizeBytes > 0 {
+		out["sizeBytes"] = si.SizeBytes
+	}
+	if si.Sections != nil {
+		out["compressed"] = si.Compressed
+		secs := make([]map[string]any, 0, len(si.Sections))
+		for _, st := range si.Sections {
+			sec := map[string]any{
+				"kind":     st.Kind,
+				"sections": st.Sections,
+				"bytes":    st.Bytes,
+			}
+			if st.RawBytes > 0 {
+				sec["rawBytes"] = st.RawBytes
+				sec["ratio"] = math.Round(st.Ratio*100) / 100
+			}
+			secs = append(secs, sec)
+		}
+		out["sections"] = secs
 	}
 	return out
 }
@@ -889,8 +911,10 @@ func (s *Server) latencyJSON(g *generation) map[string]any {
 	}
 }
 
-// buildJSON renders the build-phase timings for /statsz.
-func buildJSON(bs flix.BuildStats) map[string]any {
+// buildJSON renders the build-phase timings for /statsz, plus the on-disk
+// size of the generation in its persisted form.
+func buildJSON(ix *flix.Index) map[string]any {
+	bs := ix.BuildStats()
 	strategies := make(map[string]any, len(bs.Strategies))
 	for name, sb := range bs.Strategies {
 		strategies[name] = map[string]any{
@@ -906,7 +930,7 @@ func buildJSON(bs flix.BuildStats) map[string]any {
 			"busy":          wb.Busy.Round(time.Microsecond).String(),
 		})
 	}
-	return map[string]any{
+	out := map[string]any{
 		"partition":   bs.Partition.Round(time.Microsecond).String(),
 		"select":      bs.Select.Round(time.Microsecond).String(),
 		"indexBuild":  bs.IndexBuild.Round(time.Microsecond).String(),
@@ -914,6 +938,10 @@ func buildJSON(bs flix.BuildStats) map[string]any {
 		"workers":     workers,
 		"strategies":  strategies,
 	}
+	if sz, err := ix.SizeBytes(); err == nil {
+		out["sizeBytes"] = sz
+	}
+	return out
 }
 
 // ok writes a 200 JSON response.

@@ -1,0 +1,217 @@
+package storage
+
+// Frame-of-Reference bit-packed int32 arrays — the succinct building block
+// of the compressed v2 section encodings (SectionPPOC / SectionHOPIC).
+//
+// Values are split into blocks of 64.  Each block stores its minimum (the
+// frame base, a plain int32) plus the per-value deltas bit-packed at the
+// block's width: the smallest number of bits that holds the block's
+// max-min range.  64 values at width w occupy exactly 8·w bytes, so block
+// payloads are byte-aligned by construction and a value is extracted with
+// one unaligned 8-byte load, a shift and a mask — O(1), no decode step, no
+// scratch.  The per-block (base, width) directory doubles as a block-skip
+// index: point probes and binary searches touch only the blocks they land
+// in, never the whole array.
+//
+// Wire layout (inside a section, read with SectionData):
+//
+//	u32 count                      number of logical values
+//	u32 dataLen                    payload byte count (incl. 8 tail pad)
+//	bases  []int32 × nBlocks       per-block frame base (4-aligned)
+//	widths []u8    × nBlocks       per-block bit width (0..32)
+//	data   []byte  × dataLen       8·width bytes per block, then 8 zero
+//	                               bytes so the last extraction's 8-byte
+//	                               load stays in bounds
+//
+// Byte offsets per block are not stored — the reader rebuilds them from
+// the widths in one open-time pass into a consolidated per-block directory
+// (the only allocation: base, byte offset and width side by side, so an At
+// touches one directory cache line plus the value's own 8 bytes),
+// validating that the offsets land exactly on dataLen-8 so no At call can
+// read out of bounds.
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// packedBlockShift sets the block size: 64 values per block makes a
+// block's payload exactly 8·width bytes.
+const packedBlockShift = 6
+
+const packedBlock = 1 << packedBlockShift
+
+// packedDir is one block's directory entry: frame base, payload byte
+// offset and bit width, packed into 12 bytes so an At touches a single
+// directory cache line.
+type packedDir struct {
+	off   uint32
+	base  int32
+	width uint32
+}
+
+// PackedI32 is a read-only view of a bit-packed int32 array inside a
+// snapshot section.  The zero value is an empty array.
+type PackedI32 struct {
+	n    int32
+	dir  []packedDir
+	data []byte // zero-copy section view
+}
+
+// Len returns the number of values.
+func (p *PackedI32) Len() int { return int(p.n) }
+
+// At returns the i-th value.  i must be in [0, Len()).
+func (p *PackedI32) At(i int32) int32 {
+	d := &p.dir[uint32(i)>>packedBlockShift]
+	w := d.width
+	if w == 0 {
+		return d.base
+	}
+	bit := (uint32(i) & (packedBlock - 1)) * w
+	word := binary.LittleEndian.Uint64(p.data[d.off+bit>>3:])
+	return int32(uint32(d.base) + uint32(word>>(bit&7)&(1<<w-1)))
+}
+
+// SearchGE returns the least index in [lo, hi) whose value is >= v,
+// assuming the values in that range are ascending; hi when none is.
+func (p *PackedI32) SearchGE(lo, hi, v int32) int32 {
+	for lo < hi {
+		m := int32(uint32(lo+hi) >> 1)
+		if p.At(m) < v {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return lo
+}
+
+// PackedI32s writes vals in the frame-of-reference bit-packed layout.
+func (sw *SnapshotWriter) PackedI32s(vals []int32) {
+	nb := (len(vals) + packedBlock - 1) / packedBlock
+	bases := make([]int32, nb)
+	widths := make([]byte, nb)
+	dataLen := 8 // tail pad
+	for b := 0; b < nb; b++ {
+		blk := vals[b*packedBlock : min((b+1)*packedBlock, len(vals))]
+		lo, hi := blk[0], blk[0]
+		for _, v := range blk[1:] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		bases[b] = lo
+		w := bits.Len32(uint32(hi) - uint32(lo))
+		widths[b] = byte(w)
+		dataLen += 8 * w
+	}
+	sw.U32(uint32(len(vals)))
+	sw.U32(uint32(dataLen))
+	// Writer-side alignment must mirror the reader's (sections are
+	// 8-aligned in the file, so file and section alignment agree): I32s
+	// aligns to 4 on read, and the payload is aligned to 8 so its end —
+	// dataLen is a multiple of 8 — leaves the stream aligned for whatever
+	// follows the array.
+	sw.Align(4)
+	sw.I32s(bases)
+	sw.Raw(widths)
+	sw.Align(8)
+	// The pack buffer holds one block at max width plus the 8-byte slack
+	// the word-wise OR below writes into.
+	var buf [8*32 + 8]byte
+	for b := 0; b < nb; b++ {
+		w := uint32(widths[b])
+		if w == 0 {
+			continue
+		}
+		clear(buf[:8*w+8])
+		base := uint32(bases[b])
+		for i, v := range vals[b*packedBlock : min((b+1)*packedBlock, len(vals))] {
+			bit := uint32(i) * w
+			pos := bit >> 3
+			word := binary.LittleEndian.Uint64(buf[pos:])
+			binary.LittleEndian.PutUint64(buf[pos:], word|uint64(uint32(v)-base)<<(bit&7))
+		}
+		sw.Raw(buf[:8*w])
+	}
+	sw.Raw(zeroPad[:])
+}
+
+// PackedPrefixOffsets consumes a bit-packed prefix table of n+1 offsets —
+// written with PackedI32s — and applies the same validation as
+// PrefixOffsets: starts at 0, ends at end, monotonically nondecreasing.
+// Prefix tables over a few thousand rows are where plain u32 tables waste
+// the most (tag-run starts are small deltas but span the node range), so
+// sections store them frame-of-reference packed like every other array.
+func (d *SectionData) PackedPrefixOffsets(n int, end uint32) PackedI32 {
+	offs := d.PackedI32s()
+	if d.err != nil {
+		return PackedI32{}
+	}
+	if offs.Len() != n+1 {
+		d.fail("prefix table has %d entries, want %d", offs.Len(), n+1)
+		return PackedI32{}
+	}
+	if first, last := offs.At(0), offs.At(int32(n)); first != 0 || uint32(last) != end {
+		d.fail("prefix table spans [%d, %d], want [0, %d]", first, last, end)
+		return PackedI32{}
+	}
+	prev := int32(0)
+	for i := int32(1); i <= int32(n); i++ {
+		v := offs.At(i)
+		if v < prev {
+			d.fail("prefix table not monotonic at %d", i-1)
+			return PackedI32{}
+		}
+		prev = v
+	}
+	return offs
+}
+
+// PackedI32s consumes a bit-packed array, validating the directory so that
+// every later At stays in bounds: widths are capped at 32 and the
+// width-derived block offsets must land exactly on the declared payload
+// length (minus the tail pad).  Value-range validation is the caller's
+// job, exactly as with the plain zero-copy array views.
+func (d *SectionData) PackedI32s() PackedI32 {
+	n := d.U32()
+	dataLen := d.U32()
+	if d.err != nil {
+		return PackedI32{}
+	}
+	if n > 1<<31-1 {
+		d.fail("packed array count %d overflows", n)
+		return PackedI32{}
+	}
+	// A forged count cannot force a large allocation: the directory reads
+	// below consume 5 bytes per declared block from the section itself, so
+	// they fail on bounds before offs is ever allocated.
+	nb := (int(n) + packedBlock - 1) / packedBlock
+	bases := d.I32s(nb)
+	widths := d.Bytes(nb)
+	d.Align(8)
+	p := PackedI32{n: int32(n)}
+	p.data = d.Bytes(int(dataLen))
+	if d.err != nil {
+		return PackedI32{}
+	}
+	p.dir = make([]packedDir, nb)
+	off := uint32(0)
+	for b, w := range widths {
+		if w > 32 {
+			d.fail("packed block width %d", w)
+			return PackedI32{}
+		}
+		p.dir[b] = packedDir{off: off, base: bases[b], width: uint32(w)}
+		off += 8 * uint32(w)
+	}
+	if off+8 != dataLen {
+		d.fail("packed payload is %d bytes, directory spans %d", dataLen, off+8)
+		return PackedI32{}
+	}
+	return p
+}

@@ -1,0 +1,154 @@
+package storage
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// packRoundTrip writes vals through a detached section writer and reads
+// them back as a PackedI32.
+func packRoundTrip(t *testing.T, vals []int32) (PackedI32, []byte) {
+	t.Helper()
+	body, err := EncodeSectionBody(func(sw *SnapshotWriter) { sw.PackedI32s(vals) })
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	d := NewSectionData(body)
+	p := d.PackedI32s()
+	if err := d.Err(); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d trailing bytes", d.Remaining())
+	}
+	return p, body
+}
+
+func TestPackedI32RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := map[string][]int32{
+		"empty":    {},
+		"one":      {42},
+		"constant": {-5, -5, -5, -5, -5},
+		"identity": func() []int32 {
+			v := make([]int32, 1000)
+			for i := range v {
+				v[i] = int32(i)
+			}
+			return v
+		}(),
+		"block-boundary": make([]int32, packedBlock),
+		"block-plus-one": func() []int32 {
+			v := make([]int32, packedBlock+1)
+			for i := range v {
+				v[i] = int32(i * 3)
+			}
+			return v
+		}(),
+		"extremes": {math.MinInt32, math.MaxInt32, 0, -1, 1},
+		"random": func() []int32 {
+			v := make([]int32, 5000)
+			for i := range v {
+				v[i] = int32(rng.Uint32())
+			}
+			return v
+		}(),
+		"small-range": func() []int32 {
+			v := make([]int32, 777)
+			for i := range v {
+				v[i] = 1000 + rng.Int31n(30)
+			}
+			return v
+		}(),
+	}
+	for name, vals := range shapes {
+		t.Run(name, func(t *testing.T) {
+			p, _ := packRoundTrip(t, vals)
+			if p.Len() != len(vals) {
+				t.Fatalf("Len = %d, want %d", p.Len(), len(vals))
+			}
+			for i, want := range vals {
+				if got := p.At(int32(i)); got != want {
+					t.Fatalf("At(%d) = %d, want %d", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestPackedI32SearchGE(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]int32, 300)
+	for i := range vals {
+		vals[i] = rng.Int31n(1000)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	p, _ := packRoundTrip(t, vals)
+	for v := int32(-1); v <= 1001; v++ {
+		want := int32(sort.Search(len(vals), func(i int) bool { return vals[i] >= v }))
+		if got := p.SearchGE(0, int32(len(vals)), v); got != want {
+			t.Fatalf("SearchGE(%d) = %d, want %d", v, got, want)
+		}
+	}
+	// Sub-range searches.
+	for trial := 0; trial < 100; trial++ {
+		lo := rng.Int31n(int32(len(vals)))
+		hi := lo + rng.Int31n(int32(len(vals))-lo+1)
+		v := rng.Int31n(1000)
+		want := hi
+		for i := lo; i < hi; i++ {
+			if vals[i] >= v {
+				want = i
+				break
+			}
+		}
+		if got := p.SearchGE(lo, hi, v); got != want {
+			t.Fatalf("SearchGE(%d, %d, %d) = %d, want %d", lo, hi, v, got, want)
+		}
+	}
+}
+
+func TestPackedI32Corrupt(t *testing.T) {
+	vals := make([]int32, 500)
+	for i := range vals {
+		vals[i] = int32(i * 7)
+	}
+	_, body := packRoundTrip(t, vals)
+	read := func(b []byte) error {
+		d := NewSectionData(b)
+		d.PackedI32s()
+		return d.Err()
+	}
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{1, 4, 8, 12, len(body) / 2, len(body) - 1} {
+			if err := read(body[:len(body)-cut]); err == nil {
+				t.Fatalf("truncation by %d accepted", cut)
+			}
+		}
+	})
+	t.Run("width-over-32", func(t *testing.T) {
+		// The widths array follows count, dataLen and the 4-aligned bases.
+		nb := (len(vals) + packedBlock - 1) / packedBlock
+		c := append([]byte(nil), body...)
+		c[8+4*nb] = 33
+		if err := read(c); err == nil {
+			t.Fatal("width 33 accepted")
+		}
+	})
+	t.Run("datalen-mismatch", func(t *testing.T) {
+		c := append([]byte(nil), body...)
+		c[4]++ // dataLen low byte
+		if err := read(c); err == nil {
+			t.Fatal("forged dataLen accepted")
+		}
+	})
+	t.Run("forged-count", func(t *testing.T) {
+		c := append([]byte(nil), body...)
+		c[0], c[1], c[2], c[3] = 0xff, 0xff, 0xff, 0x7f
+		if err := read(c); err == nil {
+			t.Fatal("forged count accepted")
+		}
+	})
+}

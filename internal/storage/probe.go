@@ -62,6 +62,21 @@ type SectionEncoder interface {
 	EncodeSection(sw *SnapshotWriter)
 }
 
+// CompressedSectionEncoder is implemented by index backends that can also
+// serialize themselves in a compressed section encoding.  The snapshot
+// writer encodes both forms and keeps the compressed one only when it pays
+// (per-section ratio threshold); backends without this interface — APEX
+// and tc, whose sections are small fixed arrays and bitsets — always stay
+// raw.
+type CompressedSectionEncoder interface {
+	SectionEncoder
+	// CompressedSectionKind returns the section kind tag of the
+	// compressed encoding.
+	CompressedSectionKind() uint32
+	// EncodeCompressedSection writes the compressed section body.
+	EncodeCompressedSection(sw *SnapshotWriter)
+}
+
 // Section kinds of the v2 snapshot format.  The kind is stored per section
 // in the section table; flix.OpenSnapshot dispatches on it.
 const (
@@ -76,4 +91,36 @@ const (
 	SectionAPEX uint32 = 4
 	// SectionTC is a transitive-closure index section (internal/tc).
 	SectionTC uint32 = 5
+	// SectionPPOC is the compressed (frame-of-reference bit-packed)
+	// pre/postorder section (internal/ppo).
+	SectionPPOC uint32 = 6
+	// SectionHOPIC is the compressed (packed offsets, prefix-truncated
+	// varint) 2-hop-cover section (internal/hopi).
+	SectionHOPIC uint32 = 7
 )
+
+// IsCompressedKind reports whether kind is a compressed section encoding.
+func IsCompressedKind(kind uint32) bool {
+	return kind == SectionPPOC || kind == SectionHOPIC
+}
+
+// SectionKindName returns a short operator-facing name for a section kind.
+func SectionKindName(kind uint32) string {
+	switch kind {
+	case SectionManifest:
+		return "manifest"
+	case SectionPPO:
+		return "ppo"
+	case SectionHOPI:
+		return "hopi"
+	case SectionAPEX:
+		return "apex"
+	case SectionTC:
+		return "tc"
+	case SectionPPOC:
+		return "ppo-c"
+	case SectionHOPIC:
+		return "hopi-c"
+	}
+	return "unknown"
+}

@@ -26,6 +26,7 @@ package storage
 // zero-copy views.
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -116,6 +117,19 @@ func NewSnapshotWriter(w io.Writer) *SnapshotWriter {
 	binary.LittleEndian.PutUint32(hdr[12:16], snapshotBOM)
 	sw.write(hdr[:])
 	return sw
+}
+
+// EncodeSectionBody runs enc against a detached writer and returns the
+// bytes it produced, exactly as they would appear inside a section (the
+// detached offset starts at 0, and real section bodies start 8-aligned, so
+// the encoder's Align calls agree).  The compressing snapshot writer uses
+// it to encode a section in both the raw and the compressed form and keep
+// whichever pays.
+func EncodeSectionBody(enc func(*SnapshotWriter)) ([]byte, error) {
+	var buf bytes.Buffer
+	sw := &SnapshotWriter{w: &buf, crc: crc64.New(crcTable)}
+	enc(sw)
+	return buf.Bytes(), sw.err
 }
 
 // write appends hashed bytes.
